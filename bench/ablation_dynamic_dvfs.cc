@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Extension experiment: application-driven dynamic DVFS (the future
+ * direction named in the paper's conclusion), compared against the
+ * static per-benchmark policies of section 5.2.
+ *
+ * For each benchmark: base synchronous run, plain GALS run, GALS with
+ * the *static* oracle-style FP slowdown (the paper's approach, which
+ * needs offline knowledge of the application), and GALS with the
+ * *dynamic* controller that discovers per-domain utilization online
+ * and retunes clock/voltage at run time.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "dvfs/controller.hh"
+#include "dvfs/dvfs_policy.hh"
+
+using namespace gals;
+using namespace gals::bench;
+
+namespace
+{
+
+struct Outcome
+{
+    double perf, energy, power;
+};
+
+Outcome
+dynamicRun(const std::string &bench, std::uint64_t insts,
+           const RunResults &base)
+{
+    EventQueue eq;
+    ProcessorConfig pc;
+    pc.gals = true;
+    Processor proc(eq, pc, findBenchmark(bench), 0);
+
+    // Manage the FP domain (the paper's section 5.2 examples all slow
+    // the FP clock); memory and fetch stay at nominal — their issue
+    // slots are a poor utilization proxy because loads are
+    // latency-critical.
+    DynamicDvfsController ctrl(eq, pc.tech);
+    ctrl.manage(proc.domain(DomainId::fpd),
+                [&proc] { return proc.fpCluster().issued(); },
+                pc.core.fpIssueWidth);
+    ctrl.start();
+    proc.run(insts);
+    ctrl.stop();
+
+    const double time = tickToSeconds(proc.runTicks());
+    const double energy = proc.finalizeEnergyNj() * 1e-9;
+    const double ipc =
+        insts / (static_cast<double>(proc.runTicks()) /
+                 pc.nominalPeriod);
+    return {ipc / base.ipcNominal, energy / base.energyJ,
+            (energy / time) / base.avgPowerW};
+}
+
+} // namespace
+
+int
+main()
+{
+    figureHeader("Extension", "dynamic application-driven DVFS vs "
+                              "static policies (paper section 6)");
+
+    const auto insts = runInstructions();
+    std::printf("%-10s | %-23s | %8s %8s %8s\n", "benchmark", "config",
+                "perf", "energy", "power");
+
+    for (const std::string bench : {"gcc", "perl", "fpppp", "mpeg2"}) {
+        RunConfig rb;
+        rb.benchmark = bench;
+        rb.instructions = insts;
+        const RunResults base = runOne(rb);
+
+        const PairResults plain = runPair(bench, insts);
+        std::printf("%-10s | %-23s | %8.3f %8.3f %8.3f\n",
+                    bench.c_str(), "gals (no dvfs)",
+                    plain.galsRun.ipcNominal / plain.base.ipcNominal,
+                    plain.energyRatio(), plain.powerRatio());
+
+        const PairResults stat =
+            runPair(bench, insts, gccFpPolicy(1).setting);
+        std::printf("%-10s | %-23s | %8.3f %8.3f %8.3f\n",
+                    bench.c_str(), "static fetch-10% fp-50%",
+                    stat.galsRun.ipcNominal / stat.base.ipcNominal,
+                    stat.energyRatio(), stat.powerRatio());
+
+        const Outcome dyn = dynamicRun(bench, insts, base);
+        std::printf("%-10s | %-23s | %8.3f %8.3f %8.3f\n\n",
+                    bench.c_str(), "dynamic (fp online)",
+                    dyn.perf, dyn.energy, dyn.power);
+    }
+
+    std::printf("reading: the dynamic controller approaches the static "
+                "oracle's savings on integer codes without offline "
+                "profiling, and backs off on fp/memory-bound codes.\n");
+    return 0;
+}

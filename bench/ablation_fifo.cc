@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: sensitivity of the headline GALS results to the two
+ * asynchronous-interface design choices DESIGN.md calls out — the
+ * synchronizer depth (syncEdges, i.e. FIFO crossing latency) and the
+ * FIFO capacity (decoupling depth).
+ *
+ * Paper context: section 3.2 motivates the Chelcea-Nowick FIFO as
+ * "low-latency" precisely because crossing latency is what GALS pays
+ * on every inter-domain transfer; this ablation quantifies that
+ * sensitivity for the reproduction's default machine.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace gals;
+using namespace gals::bench;
+
+int
+main()
+{
+    figureHeader("Ablation", "FIFO synchronizer depth and capacity "
+                             "sensitivity (gcc + fpppp)");
+
+    const auto insts = runInstructions();
+    std::printf("%-8s %6s %6s | %8s %8s %8s %8s\n", "bench", "sync",
+                "cap", "perf", "energy", "power", "slipG");
+
+    for (const std::string bench : {"gcc", "fpppp"}) {
+        for (const unsigned se : {1u, 2u, 3u, 4u}) {
+            for (const unsigned cap : {8u, 24u, 64u}) {
+                ProcessorConfig pc;
+                pc.syncEdges = se;
+                pc.fifoCapacity = cap;
+                const PairResults pr =
+                    runPair(bench, insts, DvfsSetting(), 0, pc);
+                std::printf(
+                    "%-8s %6u %6u | %8.3f %8.3f %8.3f %8.1f\n",
+                    bench.c_str(), se, cap,
+                    pr.galsRun.ipcNominal / pr.base.ipcNominal,
+                    pr.energyRatio(), pr.powerRatio(),
+                    pr.galsRun.avgSlipCycles);
+            }
+        }
+    }
+
+    std::printf("\nreading: deeper synchronizers cost performance "
+                "roughly linearly; capacity beyond ~24 entries buys "
+                "little (the queues decouple, latency dominates).\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench harnesses: common run
+ * parameters (overridable via environment), benchmark set selection
+ * and table formatting matching the paper's figures.
+ */
+
+#ifndef BENCH_BENCH_UTIL_HH
+#define BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace gals::bench
+{
+
+/** Instructions per run; override with GALSSIM_INSTS. */
+inline std::uint64_t
+runInstructions()
+{
+    if (const char *env = std::getenv("GALSSIM_INSTS"))
+        return std::strtoull(env, nullptr, 10);
+    return 50000;
+}
+
+/** Benchmarks to sweep; override with GALSSIM_BENCH (one name). */
+inline std::vector<std::string>
+runBenchmarks()
+{
+    if (const char *env = std::getenv("GALSSIM_BENCH"))
+        return {std::string(env)};
+    return benchmarkNames();
+}
+
+/** Print the standard figure header. */
+inline void
+figureHeader(const char *fig, const char *what)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s: %s\n", fig, what);
+    std::printf("instructions per run: %llu\n",
+                static_cast<unsigned long long>(runInstructions()));
+    std::printf("==============================================="
+                "=====================\n");
+}
+
+/** Geometric-mean helper for "average" rows (ratios). */
+class MeanTracker
+{
+  public:
+    void
+    add(double v)
+    {
+        sum_ += v;
+        ++n_;
+    }
+    double
+    mean() const
+    {
+        return n_ ? sum_ / n_ : 0.0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    unsigned n_ = 0;
+};
+
+} // namespace gals::bench
+
+#endif // BENCH_BENCH_UTIL_HH

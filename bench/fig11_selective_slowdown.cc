@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Paper Figure 11: selective clock slowdown applied generically to
+ * three benchmarks — fetch and memory clocks slowed by 10%, floating
+ * point clock slowed by 50%, with supply voltages scaled per
+ * equation 1 (alpha = 1.6).
+ *
+ * Paper result: energy and power benefits are decent but performance
+ * losses are substantial (~18%); the lesson is that slowdown must be
+ * applied selectively per application. Also reproduces the section 5.2
+ * perl case: FP clock slowed 3x costs 9% performance and saves 10.8%
+ * energy / 18% power.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "dvfs/dvfs_policy.hh"
+
+using namespace gals;
+using namespace gals::bench;
+
+int
+main()
+{
+    figureHeader("Figure 11", "generic selective slowdown "
+                              "(fetch -10%, mem -10%, fp -50%)");
+
+    const auto insts = runInstructions();
+    const DvfsPolicy policy = genericSlowdownPolicy();
+
+    std::printf("%-10s %10s %10s %10s %10s\n", "benchmark", "perf",
+                "energy", "ideal", "power");
+
+    MeanTracker perf;
+    for (const std::string name : {"perl", "ijpeg", "gcc"}) {
+        const PairResults pr =
+            runPair(name, insts, policy.setting);
+        const double rel =
+            pr.galsRun.ipcNominal / pr.base.ipcNominal;
+        const IdealScaling ideal =
+            idealScalingForPerf(rel, defaultTech());
+        std::printf("%-10s %10.3f %10.3f %10.3f %10.3f\n",
+                    name.c_str(), rel, pr.energyRatio(),
+                    ideal.energyFactor, pr.powerRatio());
+        perf.add(rel);
+    }
+    std::printf("\npaper: performance loss ~18%% with decent "
+                "energy/power benefit; measured loss %.1f%%\n",
+                100.0 * (1.0 - perf.mean()));
+
+    // Section 5.2 perl case: FP clock slowed by a factor of 3.
+    const DvfsPolicy perl3 = perlFpPolicy();
+    const PairResults pp = runPair("perl", insts, perl3.setting);
+    std::printf("\nperl with FP clock / 3 (section 5.2):\n");
+    std::printf("  perf drop %.1f%% (paper 9%%), energy saving %.1f%% "
+                "(paper 10.8%%), power saving %.1f%% (paper 18%%)\n",
+                100.0 * (1.0 - pp.galsRun.ipcNominal /
+                                   pp.base.ipcNominal),
+                100.0 * (1.0 - pp.energyRatio()),
+                100.0 * (1.0 - pp.powerRatio()));
+    return 0;
+}

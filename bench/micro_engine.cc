@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Engine microbenchmarks (google-benchmark): event queue scheduling,
+ * clock-domain ticking, mixed-clock channel traffic, and end-to-end
+ * simulation rate of the base and GALS processors.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/channel.hh"
+#include "core/experiment.hh"
+#include "sim/clock_domain.hh"
+#include "sim/event_queue.hh"
+
+using namespace gals;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleService(benchmark::State &state)
+{
+    EventQueue eq;
+    std::vector<std::unique_ptr<CallbackEvent>> events;
+    for (int i = 0; i < 64; ++i)
+        events.push_back(std::make_unique<CallbackEvent>([] {}));
+    std::uint64_t t = 1;
+    for (auto _ : state) {
+        for (auto &ev : events)
+            eq.schedule(ev.get(), t += 3);
+        while (eq.serviceOne()) {
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleService);
+
+void
+BM_ClockDomainTick(benchmark::State &state)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "clk", 1000);
+    std::uint64_t count = 0;
+    cd.addTicker([&count] { ++count; });
+    cd.start();
+    Tick until = 0;
+    for (auto _ : state) {
+        until += 1000 * 1000; // 1000 cycles
+        eq.runUntil(until);
+    }
+    benchmark::DoNotOptimize(count);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ClockDomainTick);
+
+void
+BM_AsyncFifoTraffic(benchmark::State &state)
+{
+    EventQueue eq;
+    ClockDomain prod(eq, "prod", 1000, 0);
+    ClockDomain cons(eq, "cons", 1300, 400);
+    Channel<int> ch("ch", ChannelMode::asyncFifo, prod, cons, 16, 2);
+    std::uint64_t moved = 0;
+    prod.addTicker([&] {
+        if (ch.canPush())
+            ch.push(42);
+    });
+    cons.addTicker([&] {
+        while (!ch.empty()) {
+            ch.pop();
+            ++moved;
+        }
+    });
+    prod.start();
+    cons.start();
+    Tick until = 0;
+    for (auto _ : state) {
+        until += 1000 * 1000;
+        eq.runUntil(until);
+    }
+    benchmark::DoNotOptimize(moved);
+    state.SetItemsProcessed(static_cast<std::int64_t>(moved));
+}
+BENCHMARK(BM_AsyncFifoTraffic);
+
+void
+BM_SimulationRate(benchmark::State &state)
+{
+    const bool gals_mode = state.range(0) != 0;
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        RunConfig rc;
+        rc.benchmark = "gcc";
+        rc.instructions = 20000;
+        rc.gals = gals_mode;
+        const RunResults r = runOne(rc);
+        benchmark::DoNotOptimize(r.ipcNominal);
+        insts += r.committed;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+    state.SetLabel(gals_mode ? "gals" : "base");
+}
+BENCHMARK(BM_SimulationRate)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+#include "bpred/bpred.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+namespace
+{
+
+/** Saturating 2-bit counter update. */
+inline std::uint8_t
+updateCounter(std::uint8_t ctr, bool taken)
+{
+    if (taken)
+        return ctr < 3 ? ctr + 1 : 3;
+    return ctr > 0 ? ctr - 1 : 0;
+}
+
+} // namespace
+
+BimodalPredictor::BimodalPredictor(unsigned entries)
+    : table_(entries, 2) // weakly taken
+{
+    gals_assert(entries > 0 && (entries & (entries - 1)) == 0,
+                "bimodal table size must be a power of two");
+}
+
+std::size_t
+BimodalPredictor::index(std::uint64_t pc) const
+{
+    return (pc >> 2) & (table_.size() - 1);
+}
+
+bool
+BimodalPredictor::predict(std::uint64_t pc)
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+BimodalPredictor::update(std::uint64_t pc, bool taken)
+{
+    auto &ctr = table_[index(pc)];
+    ctr = updateCounter(ctr, taken);
+}
+
+} // namespace gals

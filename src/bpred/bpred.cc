@@ -1,0 +1,96 @@
+#include "bpred/bpred.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+BranchUnit::BranchUnit() : BranchUnit(Config()) {}
+
+BranchUnit::BranchUnit(const Config &cfg)
+    : btb_(cfg.btbSets, cfg.btbWays), ras_(cfg.rasEntries)
+{
+    if (cfg.kind == "bimodal") {
+        dir_ = std::make_unique<BimodalPredictor>(cfg.bimodalEntries);
+    } else if (cfg.kind == "gshare") {
+        dir_ = std::make_unique<GsharePredictor>(cfg.gshareEntries,
+                                                 cfg.gshareHistory);
+    } else if (cfg.kind == "combining") {
+        dir_ = std::make_unique<CombiningPredictor>(
+            cfg.bimodalEntries, cfg.gshareEntries, cfg.gshareHistory,
+            cfg.chooserEntries);
+    } else {
+        gals_fatal("unknown branch predictor kind '", cfg.kind, "'");
+    }
+}
+
+BranchPrediction
+BranchUnit::predict(std::uint64_t pc, InstClass cls, bool useRas)
+{
+    ++predictions_;
+    BranchPrediction p;
+
+    switch (cls) {
+      case InstClass::condBranch: {
+        const bool dir = dir_->predict(pc);
+        std::uint64_t tgt = 0;
+        p.btbHit = btb_.lookup(pc, tgt);
+        // Direction says taken, but without a BTB target the front end
+        // cannot redirect; it keeps fetching fall-through.
+        p.taken = dir && p.btbHit;
+        p.target = p.taken ? tgt : pc + 4;
+        break;
+      }
+      case InstClass::uncondBranch: {
+        std::uint64_t tgt = 0;
+        p.btbHit = btb_.lookup(pc, tgt);
+        p.taken = p.btbHit;
+        p.target = p.btbHit ? tgt : pc + 4;
+        break;
+      }
+      case InstClass::call: {
+        std::uint64_t tgt = 0;
+        p.btbHit = btb_.lookup(pc, tgt);
+        p.taken = p.btbHit;
+        p.target = p.btbHit ? tgt : pc + 4;
+        if (useRas)
+            ras_.push(pc + 4);
+        break;
+      }
+      case InstClass::ret: {
+        const std::uint64_t tgt = useRas ? ras_.pop() : 0;
+        p.btbHit = tgt != 0;
+        p.taken = p.btbHit;
+        p.target = p.btbHit ? tgt : pc + 4;
+        break;
+      }
+      default:
+        gals_panic("predict() on non-branch class");
+    }
+    return p;
+}
+
+void
+BranchUnit::update(std::uint64_t pc, InstClass cls, bool taken,
+                   std::uint64_t target)
+{
+    ++updates_;
+    if (cls == InstClass::condBranch) {
+        const bool pred = dir_->predict(pc);
+        if (pred == taken)
+            ++dirCorrect_;
+        else
+            ++dirWrong_;
+        dir_->update(pc, taken);
+    }
+    if (taken && cls != InstClass::ret)
+        btb_.insert(pc, target);
+}
+
+std::uint64_t
+BranchUnit::sizeBits() const
+{
+    return dir_->sizeBits() + btb_.sizeBits();
+}
+
+} // namespace gals

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Branch prediction: direction predictors (bimodal, gshare,
+ * combining), a set-associative branch target buffer, and a return
+ * address stack, composed into the BranchUnit used by the fetch stage.
+ *
+ * The paper's clock domain 1 is "instruction cache and branch
+ * prediction unit" together, so the BranchUnit's access counts feed
+ * the fetch-domain power model.
+ */
+
+#ifndef BPRED_BPRED_HH
+#define BPRED_BPRED_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace gals
+{
+
+/** Abstract taken/not-taken predictor. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(std::uint64_t pc) = 0;
+
+    /**
+     * Train with the resolved outcome (called in commit order, so the
+     * internal global history is non-speculative).
+     */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    /** Table size in bits, for the power model. */
+    virtual std::uint64_t sizeBits() const = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/** Classic 2-bit saturating counter table indexed by pc. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned entries = 2048);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::uint64_t sizeBits() const override { return table_.size() * 2; }
+    const char *name() const override { return "bimodal"; }
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+    std::vector<std::uint8_t> table_;
+};
+
+/** Gshare: global history XOR pc indexing a 2-bit counter table. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    explicit GsharePredictor(unsigned entries = 4096,
+                             unsigned historyBits = 12);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::uint64_t sizeBits() const override { return table_.size() * 2; }
+    const char *name() const override { return "gshare"; }
+
+    std::uint32_t history() const { return history_; }
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+    std::vector<std::uint8_t> table_;
+    std::uint32_t history_ = 0;
+    std::uint32_t historyMask_;
+};
+
+/**
+ * McFarling-style combining predictor: bimodal + gshare with a
+ * bimodal-indexed chooser (the 21264 uses a close cousin).
+ */
+class CombiningPredictor : public DirectionPredictor
+{
+  public:
+    CombiningPredictor(unsigned bimodalEntries = 2048,
+                       unsigned gshareEntries = 4096,
+                       unsigned gshareHistory = 12,
+                       unsigned chooserEntries = 2048);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::uint64_t sizeBits() const override;
+    const char *name() const override { return "combining"; }
+
+  private:
+    BimodalPredictor bimodal_;
+    GsharePredictor gshare_;
+    std::vector<std::uint8_t> chooser_;
+};
+
+/** Set-associative branch target buffer. */
+class Btb
+{
+  public:
+    Btb(unsigned sets = 512, unsigned ways = 4);
+
+    /** Look up a target; returns true on hit and fills @p target. */
+    bool lookup(std::uint64_t pc, std::uint64_t &target);
+
+    /** Install / refresh an entry (LRU replacement). */
+    void insert(std::uint64_t pc, std::uint64_t target);
+
+    std::uint64_t sizeBits() const;
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t target = 0;
+        std::uint64_t lru = 0;
+    };
+    unsigned sets_, ways_;
+    std::vector<Entry> entries_;
+    std::uint64_t lruClock_ = 0;
+    std::uint64_t lookups_ = 0, hits_ = 0;
+};
+
+/** Circular return address stack with speculative push/pop. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned entries = 16);
+
+    void push(std::uint64_t returnPc);
+    /** Pop a predicted return target; 0 if the stack is empty. */
+    std::uint64_t pop();
+    unsigned depth() const { return depth_; }
+
+  private:
+    std::vector<std::uint64_t> stack_;
+    unsigned top_ = 0;
+    unsigned depth_ = 0;
+};
+
+/** Outcome of a front-end branch prediction. */
+struct BranchPrediction
+{
+    bool taken = false;
+    std::uint64_t target = 0;
+    bool btbHit = false;
+};
+
+/**
+ * The complete front-end branch unit: direction predictor + BTB + RAS.
+ */
+class BranchUnit
+{
+  public:
+    /** Configuration of the branch unit. */
+    struct Config
+    {
+        std::string kind = "combining"; ///< bimodal | gshare | combining
+        unsigned bimodalEntries = 2048;
+        unsigned gshareEntries = 4096;
+        unsigned gshareHistory = 12;
+        unsigned chooserEntries = 2048;
+        unsigned btbSets = 512;
+        unsigned btbWays = 4;
+        unsigned rasEntries = 16;
+    };
+
+    BranchUnit();
+    explicit BranchUnit(const Config &cfg);
+
+    /**
+     * Predict the branch at @p pc of class @p cls. Calls/returns
+     * speculatively manipulate the RAS unless @p useRas is false
+     * (wrong-path prediction: the RAS is not corrupted because a
+     * squash would have repaired it).
+     */
+    BranchPrediction predict(std::uint64_t pc, InstClass cls,
+                             bool useRas = true);
+
+    /** Commit-time training with the resolved outcome. */
+    void update(std::uint64_t pc, InstClass cls, bool taken,
+                std::uint64_t target);
+
+    /** @name Activity counters for the power model */
+    /// @{
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t updates() const { return updates_; }
+    /// @}
+
+    /** Direction-predictor accuracy observed so far (commit-time). */
+    std::uint64_t dirCorrect() const { return dirCorrect_; }
+    std::uint64_t dirWrong() const { return dirWrong_; }
+
+    /** Total predictor state, in bits, for the power model. */
+    std::uint64_t sizeBits() const;
+
+    DirectionPredictor &direction() { return *dir_; }
+    Btb &btb() { return btb_; }
+    ReturnAddressStack &ras() { return ras_; }
+
+  private:
+    std::unique_ptr<DirectionPredictor> dir_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+    std::uint64_t predictions_ = 0, updates_ = 0;
+    std::uint64_t dirCorrect_ = 0, dirWrong_ = 0;
+};
+
+} // namespace gals
+
+#endif // BPRED_BPRED_HH

@@ -1,0 +1,90 @@
+#include "bpred/bpred.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+Btb::Btb(unsigned sets, unsigned ways)
+    : sets_(sets), ways_(ways), entries_(sets * ways)
+{
+    gals_assert(sets > 0 && (sets & (sets - 1)) == 0,
+                "BTB set count must be a power of two");
+    gals_assert(ways > 0, "BTB needs at least one way");
+}
+
+bool
+Btb::lookup(std::uint64_t pc, std::uint64_t &target)
+{
+    ++lookups_;
+    const std::uint64_t set = (pc >> 2) & (sets_ - 1);
+    const std::uint64_t tag = pc >> 2;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = entries_[set * ways_ + w];
+        if (e.valid && e.tag == tag) {
+            e.lru = ++lruClock_;
+            target = e.target;
+            ++hits_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Btb::insert(std::uint64_t pc, std::uint64_t target)
+{
+    const std::uint64_t set = (pc >> 2) & (sets_ - 1);
+    const std::uint64_t tag = pc >> 2;
+
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = entries_[set * ways_ + w];
+        if (e.valid && e.tag == tag) {
+            victim = &e; // refresh in place
+            break;
+        }
+        if (victim == nullptr || !e.valid ||
+            (victim->valid && e.lru < victim->lru))
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->target = target;
+    victim->lru = ++lruClock_;
+}
+
+std::uint64_t
+Btb::sizeBits() const
+{
+    // tag + target + valid, roughly 64 bits per entry of state.
+    return static_cast<std::uint64_t>(sets_) * ways_ * 64;
+}
+
+ReturnAddressStack::ReturnAddressStack(unsigned entries)
+    : stack_(entries, 0)
+{
+    gals_assert(entries > 0, "RAS needs at least one entry");
+}
+
+void
+ReturnAddressStack::push(std::uint64_t returnPc)
+{
+    top_ = (top_ + 1) % stack_.size();
+    stack_[top_] = returnPc;
+    if (depth_ < stack_.size())
+        ++depth_;
+}
+
+std::uint64_t
+ReturnAddressStack::pop()
+{
+    if (depth_ == 0)
+        return 0;
+    const std::uint64_t t = stack_[top_];
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    --depth_;
+    return t;
+}
+
+} // namespace gals

@@ -1,0 +1,55 @@
+#include "bpred/bpred.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+CombiningPredictor::CombiningPredictor(unsigned bimodalEntries,
+                                       unsigned gshareEntries,
+                                       unsigned gshareHistory,
+                                       unsigned chooserEntries)
+    : bimodal_(bimodalEntries),
+      gshare_(gshareEntries, gshareHistory),
+      chooser_(chooserEntries, 2)
+{
+    gals_assert(chooserEntries > 0 &&
+                    (chooserEntries & (chooserEntries - 1)) == 0,
+                "chooser table size must be a power of two");
+}
+
+bool
+CombiningPredictor::predict(std::uint64_t pc)
+{
+    const bool b = bimodal_.predict(pc);
+    const bool g = gshare_.predict(pc);
+    const auto idx = (pc >> 2) & (chooser_.size() - 1);
+    // Chooser >= 2 selects gshare.
+    return chooser_[idx] >= 2 ? g : b;
+}
+
+void
+CombiningPredictor::update(std::uint64_t pc, bool taken)
+{
+    const bool b = bimodal_.predict(pc);
+    const bool g = gshare_.predict(pc);
+    const auto idx = (pc >> 2) & (chooser_.size() - 1);
+    auto &ch = chooser_[idx];
+    if (g == taken && b != taken) {
+        if (ch < 3)
+            ++ch;
+    } else if (b == taken && g != taken) {
+        if (ch > 0)
+            --ch;
+    }
+    bimodal_.update(pc, taken);
+    gshare_.update(pc, taken);
+}
+
+std::uint64_t
+CombiningPredictor::sizeBits() const
+{
+    return bimodal_.sizeBits() + gshare_.sizeBits() + chooser_.size() * 2;
+}
+
+} // namespace gals

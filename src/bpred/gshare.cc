@@ -1,0 +1,39 @@
+#include "bpred/bpred.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+GsharePredictor::GsharePredictor(unsigned entries, unsigned historyBits)
+    : table_(entries, 2), historyMask_((1u << historyBits) - 1)
+{
+    gals_assert(entries > 0 && (entries & (entries - 1)) == 0,
+                "gshare table size must be a power of two");
+    gals_assert(historyBits > 0 && historyBits <= 30, "bad history size");
+}
+
+std::size_t
+GsharePredictor::index(std::uint64_t pc) const
+{
+    return ((pc >> 2) ^ history_) & (table_.size() - 1);
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc)
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    auto &ctr = table_[index(pc)];
+    if (taken)
+        ctr = ctr < 3 ? ctr + 1 : 3;
+    else
+        ctr = ctr > 0 ? ctr - 1 : 0;
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+} // namespace gals

@@ -1,0 +1,98 @@
+#include "cache/cache.hh"
+
+#include <bit>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+Cache::Cache(std::string name, std::uint64_t sizeBytes, unsigned ways,
+             unsigned lineBytes, unsigned hitLatency)
+    : name_(std::move(name)), sizeBytes_(sizeBytes), ways_(ways),
+      lineBytes_(lineBytes), hitLatency_(hitLatency)
+{
+    gals_assert(ways_ > 0, "cache '", name_, "': zero ways");
+    gals_assert(lineBytes_ > 0 && std::has_single_bit(lineBytes_),
+                "cache '", name_, "': line size must be a power of two");
+    gals_assert(sizeBytes_ % (static_cast<std::uint64_t>(ways_) *
+                              lineBytes_) == 0,
+                "cache '", name_, "': size not divisible by way size");
+    sets_ = static_cast<unsigned>(sizeBytes_ / ways_ / lineBytes_);
+    gals_assert(sets_ > 0 && std::has_single_bit(sets_), "cache '", name_,
+                "': set count must be a power of two");
+    lineShift_ = static_cast<unsigned>(std::countr_zero(lineBytes_));
+    lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+std::uint64_t
+Cache::lineAddr(std::uint64_t addr) const
+{
+    return addr >> lineShift_;
+}
+
+bool
+Cache::access(std::uint64_t addr, bool write, bool &writeback)
+{
+    writeback = false;
+    ++accesses_;
+
+    const std::uint64_t la = lineAddr(addr);
+    const std::uint64_t set = la & (sets_ - 1);
+    const std::uint64_t tag = la >> std::countr_zero(sets_);
+    Line *base = &lines_[set * ways_];
+
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lru = ++lruClock_;
+            l.dirty = l.dirty || write;
+            ++hits_;
+            return true;
+        }
+    }
+
+    // Miss: pick LRU victim (prefer invalid ways).
+    Line *victim = base;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &l = base[w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.lru < victim->lru)
+            victim = &l;
+    }
+    if (victim->valid && victim->dirty)
+        writeback = true;
+
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lru = ++lruClock_;
+    return false;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    const std::uint64_t la = lineAddr(addr);
+    const std::uint64_t set = la & (sets_ - 1);
+    const std::uint64_t tag = la >> std::countr_zero(sets_);
+    const Line *base = &lines_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : lines_)
+        l = Line();
+    lruClock_ = 0;
+}
+
+} // namespace gals

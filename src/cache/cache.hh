@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and write-back,
+ * write-allocate policy.
+ *
+ * Timing is expressed as the *level* an access was served from; the
+ * pipeline converts levels to ticks using the clock period of the
+ * domain each level lives in (important in GALS mode, where the L2
+ * belongs to the memory clock domain and may run at a different
+ * frequency than the fetch domain).
+ */
+
+#ifndef CACHE_CACHE_HH
+#define CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gals
+{
+
+/**
+ * One level of cache.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param name       diagnostic name
+     * @param sizeBytes  total capacity
+     * @param ways       associativity (1 = direct mapped)
+     * @param lineBytes  line size (power of two)
+     * @param hitLatency access latency in cycles of the owning domain
+     */
+    Cache(std::string name, std::uint64_t sizeBytes, unsigned ways,
+          unsigned lineBytes, unsigned hitLatency);
+
+    /**
+     * Access the cache.
+     *
+     * @param addr      byte address
+     * @param write     true for stores
+     * @param writeback set to true if a dirty line was evicted
+     * @return true on hit; on miss the line is allocated
+     */
+    bool access(std::uint64_t addr, bool write, bool &writeback);
+
+    /** Probe without modifying state (for tests/debug). */
+    bool contains(std::uint64_t addr) const;
+
+    /** Invalidate everything (cold state). */
+    void flush();
+
+    /** @name Geometry */
+    /// @{
+    std::uint64_t sizeBytes() const { return sizeBytes_; }
+    unsigned ways() const { return ways_; }
+    unsigned sets() const { return sets_; }
+    unsigned lineBytes() const { return lineBytes_; }
+    unsigned hitLatency() const { return hitLatency_; }
+    /// @}
+
+    /** @name Statistics */
+    /// @{
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return accesses_ - hits_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    double missRate() const
+    {
+        return accesses_ ? double(misses()) / double(accesses_) : 0.0;
+    }
+    /// @}
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+    };
+
+    std::uint64_t lineAddr(std::uint64_t addr) const;
+
+    std::string name_;
+    std::uint64_t sizeBytes_;
+    unsigned ways_;
+    unsigned lineBytes_;
+    unsigned sets_;
+    unsigned lineShift_;
+    unsigned hitLatency_;
+    std::vector<Line> lines_;
+    std::uint64_t lruClock_ = 0;
+
+    std::uint64_t accesses_ = 0, hits_ = 0, writebacks_ = 0;
+};
+
+} // namespace gals
+
+#endif // CACHE_CACHE_HH

@@ -1,0 +1,66 @@
+#include "cache/hierarchy.hh"
+
+namespace gals
+{
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &cfg)
+    : cfg_(cfg),
+      il1_("il1", cfg.il1Size, cfg.il1Ways, cfg.lineBytes,
+           cfg.il1Latency),
+      dl1_("dl1", cfg.dl1Size, cfg.dl1Ways, cfg.lineBytes,
+           cfg.dl1Latency),
+      l2_("l2", cfg.l2Size, cfg.l2Ways, cfg.lineBytes, cfg.l2Latency),
+      mem_(cfg.memLatency)
+{
+}
+
+MemAccessOutcome
+CacheHierarchy::missToL2(std::uint64_t addr, bool dirty_evicted)
+{
+    MemAccessOutcome out;
+    bool l2_wb = false;
+    const bool l2_hit = l2_.access(addr, false, l2_wb);
+    out.l2Accesses = 1;
+    if (dirty_evicted) {
+        // The L1 victim writes back into the L2.
+        bool dummy = false;
+        l2_.access(addr, true, dummy);
+        ++out.l2Accesses;
+    }
+    if (l2_hit) {
+        out.level = 2;
+    } else {
+        out.level = 3;
+        mem_.access();
+        ++out.memAccesses;
+        if (l2_wb)
+            ++out.memAccesses; // dirty L2 victim to memory
+    }
+    return out;
+}
+
+MemAccessOutcome
+CacheHierarchy::instFetch(std::uint64_t pc)
+{
+    bool wb = false;
+    if (il1_.access(pc, false, wb)) {
+        MemAccessOutcome out;
+        out.level = 1;
+        return out;
+    }
+    return missToL2(pc, false); // I-cache lines are never dirty
+}
+
+MemAccessOutcome
+CacheHierarchy::dataAccess(std::uint64_t addr, bool write)
+{
+    bool wb = false;
+    if (dl1_.access(addr, write, wb)) {
+        MemAccessOutcome out;
+        out.level = 1;
+        return out;
+    }
+    return missToL2(addr, wb);
+}
+
+} // namespace gals

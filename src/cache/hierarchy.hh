@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The three-level memory hierarchy of the simulated machine
+ * (paper Table 3): 16KB direct-mapped L1 I-cache, 16KB 4-way L1
+ * D-cache, 256KB 4-way unified L2, flat main memory.
+ *
+ * Accesses report *which level served them* so the pipeline can
+ * convert to time using the right clock domain's period: the L1
+ * I-cache belongs to the fetch domain, while the D-cache and L2 belong
+ * to the memory domain.
+ */
+
+#ifndef CACHE_HIERARCHY_HH
+#define CACHE_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "cache/memory.hh"
+
+namespace gals
+{
+
+/** Outcome of a hierarchy access. */
+struct MemAccessOutcome
+{
+    /** 1 = L1 hit, 2 = L2 hit, 3 = main memory. */
+    unsigned level = 1;
+    /** L2 accesses performed (demand + writeback traffic). */
+    unsigned l2Accesses = 0;
+    /** Main-memory accesses performed. */
+    unsigned memAccesses = 0;
+};
+
+/** Geometry/latency knobs for the hierarchy. */
+struct HierarchyConfig
+{
+    std::uint64_t il1Size = 16 * 1024;
+    unsigned il1Ways = 1; // direct mapped (Table 3)
+    std::uint64_t dl1Size = 16 * 1024;
+    unsigned dl1Ways = 4;
+    std::uint64_t l2Size = 256 * 1024;
+    unsigned l2Ways = 4;
+    unsigned lineBytes = 32;
+    unsigned il1Latency = 1;
+    unsigned dl1Latency = 1;
+    unsigned l2Latency = 6;
+    unsigned memLatency = 24; ///< SimpleScalar-era main memory
+};
+
+/**
+ * L1I + L1D + unified L2 + memory.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig &cfg = HierarchyConfig());
+
+    /** Instruction fetch at @p pc. */
+    MemAccessOutcome instFetch(std::uint64_t pc);
+
+    /** Data access (load or store) at @p addr. */
+    MemAccessOutcome dataAccess(std::uint64_t addr, bool write);
+
+    Cache &il1() { return il1_; }
+    Cache &dl1() { return dl1_; }
+    Cache &l2() { return l2_; }
+    MemoryModel &memory() { return mem_; }
+    const HierarchyConfig &config() const { return cfg_; }
+
+  private:
+    MemAccessOutcome missToL2(std::uint64_t addr, bool dirty_evicted);
+
+    HierarchyConfig cfg_;
+    Cache il1_;
+    Cache dl1_;
+    Cache l2_;
+    MemoryModel mem_;
+};
+
+} // namespace gals
+
+#endif // CACHE_HIERARCHY_HH

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Mixed-clock communication channels between pipeline regions.
+ *
+ * This is the heart of the GALS model. Successive logic blocks
+ * communicate only through Channel objects:
+ *
+ *  - In the base (fully synchronous) processor a channel behaves like
+ *    an ordinary pipeline latch/queue: an item written on one rising
+ *    edge is visible at the next edge, and a freed slot is reusable
+ *    immediately.
+ *
+ *  - In the GALS processor a channel models the Chelcea-Nowick style
+ *    mixed-clock FIFO of paper section 3.2 / Figure 2: the producer
+ *    writes on its own clock, the consumer reads on its own clock, and
+ *    the full / empty flags each pass through a two-flop synchronizer
+ *    in the opposite domain. An item pushed at time t therefore
+ *    becomes visible at the syncEdges-th consumer edge strictly after
+ *    t, and a freed slot becomes reusable at the syncEdges-th producer
+ *    edge strictly after the pop. Steady-state throughput is one item
+ *    per cycle (token-ring FIFO); only the latency and the flag
+ *    conservatism differ from the synchronous latch, exactly the
+ *    behaviour the paper attributes to the design of [4, 5].
+ *
+ * Channels also account the residency time of every item so the
+ * paper's Figure 7 (slip split into FIFO time vs pipeline time) can be
+ * reproduced, and count pushes/pops for the FIFO power model.
+ */
+
+#ifndef CORE_CHANNEL_HH
+#define CORE_CHANNEL_HH
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "sim/clock_domain.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace gals
+{
+
+/** Latch (synchronous) vs asynchronous FIFO behaviour. */
+enum class ChannelMode : std::uint8_t
+{
+    syncLatch,
+    asyncFifo,
+};
+
+/**
+ * Untyped channel bookkeeping: identity, mode and activity counters.
+ */
+class ChannelBase
+{
+  public:
+    /**
+     * @param streaming  true for instruction-flow FIFOs (Chelcea-
+     *     Nowick token ring: the empty-flag synchronization penalty is
+     *     paid only on empty-to-non-empty transitions, giving one item
+     *     per cycle in steady state); false for event-style channels
+     *     (result wakeups, completion notices, redirects) where every
+     *     transfer synchronizes independently.
+     */
+    ChannelBase(std::string name, ChannelMode mode, ClockDomain &producer,
+                ClockDomain &consumer, std::size_t capacity,
+                unsigned syncEdges, bool streaming = true);
+    virtual ~ChannelBase() = default;
+
+    ChannelBase(const ChannelBase &) = delete;
+    ChannelBase &operator=(const ChannelBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    ChannelMode mode() const { return mode_; }
+    bool isAsync() const { return mode_ == ChannelMode::asyncFifo; }
+    std::size_t capacity() const { return capacity_; }
+    unsigned syncEdges() const { return syncEdges_; }
+
+    ClockDomain &producer() const { return producer_; }
+    ClockDomain &consumer() const { return consumer_; }
+    bool streaming() const { return streaming_; }
+
+    /** @name Activity counters (power model + Figure 7 accounting) */
+    /// @{
+    std::uint64_t pushes() const { return pushes_; }
+    std::uint64_t pops() const { return pops_; }
+    std::uint64_t squashedItems() const { return squashedItems_; }
+    Tick totalResidency() const { return totalResidency_; }
+    /// @}
+
+  protected:
+    /** Visibility time of an item pushed at @p t. */
+    Tick visibleAt(Tick t) const;
+    /** Time the producer observes a slot freed by a pop at @p t. */
+    Tick freeVisibleAt(Tick t) const;
+
+    std::string name_;
+    ChannelMode mode_;
+    ClockDomain &producer_;
+    ClockDomain &consumer_;
+    std::size_t capacity_;
+    unsigned syncEdges_;
+    bool streaming_;
+
+    std::uint64_t pushes_ = 0;
+    std::uint64_t pops_ = 0;
+    std::uint64_t squashedItems_ = 0;
+    Tick totalResidency_ = 0;
+};
+
+/**
+ * Typed channel carrying items of type T.
+ */
+template <typename T>
+class Channel : public ChannelBase
+{
+  public:
+    Channel(std::string name, ChannelMode mode, ClockDomain &producer,
+            ClockDomain &consumer, std::size_t capacity,
+            unsigned syncEdges = 2, bool streaming = true)
+        : ChannelBase(std::move(name), mode, producer, consumer, capacity,
+                      syncEdges, streaming)
+    {
+    }
+
+    /**
+     * Producer-side full test at the current time: counts occupants
+     * plus freed slots whose release has not yet synchronized back.
+     */
+    bool
+    full() const
+    {
+        const Tick now = producer_.eventQueue().now();
+        std::size_t unobserved_frees = 0;
+        for (const Tick t : freeVisible_)
+            if (t > now)
+                ++unobserved_frees;
+        return q_.size() + unobserved_frees >= capacity_;
+    }
+
+    bool canPush() const { return !full(); }
+
+    /** Push an item; caller must have checked canPush(). */
+    void
+    push(T item)
+    {
+        gals_assert(!full(), "push to full channel '", name_, "'");
+        const Tick now = producer_.eventQueue().now();
+        ++pushes_;
+        // Steady-state streaming property of the token-ring FIFO
+        // (paper section 3.2): the empty-flag synchronizer penalty is
+        // paid only when the FIFO transitions from empty to non-empty.
+        // An item entering a non-empty FIFO is readable one consumer
+        // edge after the item ahead of it (one item per cycle
+        // throughput), never earlier than the edge after its own push.
+        Tick ready;
+        if (q_.empty() || !streaming_) {
+            ready = visibleAt(now);
+            if (!q_.empty())
+                ready = std::max(ready, q_.back().readyTick);
+        } else {
+            ready = std::max(q_.back().readyTick,
+                             consumer_.nextEdgeAfter(now));
+        }
+        q_.push_back(Entry{std::move(item), now, ready});
+        pruneFrees(now);
+    }
+
+    /** Consumer-side empty test at the current time. */
+    bool
+    empty() const
+    {
+        if (q_.empty())
+            return true;
+        const Tick now = consumer_.eventQueue().now();
+        return q_.front().readyTick > now;
+    }
+
+    /** First visible item; caller must have checked !empty(). */
+    T &
+    front()
+    {
+        gals_assert(!empty(), "front() on empty channel '", name_, "'");
+        return q_.front().item;
+    }
+
+    /** Push time of the first visible item (for residency metrics). */
+    Tick
+    frontPushTick() const
+    {
+        gals_assert(!empty(), "frontPushTick() on empty channel '", name_,
+                    "'");
+        return q_.front().pushTick;
+    }
+
+    /** Remove the first visible item. */
+    void
+    pop()
+    {
+        gals_assert(!empty(), "pop() on empty channel '", name_, "'");
+        const Tick now = consumer_.eventQueue().now();
+        ++pops_;
+        totalResidency_ += now - q_.front().pushTick;
+        q_.pop_front();
+        freeVisible_.push_back(freeVisibleAt(now));
+    }
+
+    /** Number of items physically inside (visible or not). */
+    std::size_t rawSize() const { return q_.size(); }
+
+    /**
+     * Remove every item satisfying @p pred (pipeline squash). Removed
+     * items free their slots like pops but do not count residency.
+     * @return number of items removed.
+     */
+    template <typename Pred>
+    unsigned
+    squash(Pred pred)
+    {
+        const Tick now = consumer_.eventQueue().now();
+        unsigned removed = 0;
+        for (auto it = q_.begin(); it != q_.end();) {
+            if (pred(it->item)) {
+                it = q_.erase(it);
+                freeVisible_.push_back(freeVisibleAt(now));
+                ++removed;
+            } else {
+                ++it;
+            }
+        }
+        squashedItems_ += removed;
+        return removed;
+    }
+
+    /** Drop everything (reset). */
+    void
+    clear()
+    {
+        squashedItems_ += q_.size();
+        q_.clear();
+        freeVisible_.clear();
+    }
+
+  private:
+    struct Entry
+    {
+        T item;
+        Tick pushTick;
+        Tick readyTick;
+    };
+
+    void
+    pruneFrees(Tick now)
+    {
+        while (!freeVisible_.empty() && freeVisible_.front() <= now)
+            freeVisible_.pop_front();
+    }
+
+    std::deque<Entry> q_;
+    std::deque<Tick> freeVisible_;
+};
+
+} // namespace gals
+
+#endif // CORE_CHANNEL_HH

@@ -1,0 +1,27 @@
+#include "core/domain.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+const char *
+domainName(DomainId d)
+{
+    switch (d) {
+      case DomainId::fetch:
+        return "fetch";
+      case DomainId::decode:
+        return "decode";
+      case DomainId::intd:
+        return "int";
+      case DomainId::fpd:
+        return "fp";
+      case DomainId::memd:
+        return "mem";
+      default:
+        gals_panic("bad domain id");
+    }
+}
+
+} // namespace gals

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The five clock domains of the GALS processor (paper section 4.1,
+ * Figure 3b):
+ *
+ *   1. fetch   — L1 instruction cache + branch prediction unit
+ *   2. decode  — decode, register rename, regfile bookkeeping, commit
+ *   3. intd    — integer issue queue + integer ALUs
+ *   4. fpd     — floating-point issue queue + FP ALUs
+ *   5. memd    — memory issue queue + D-cache + L2
+ *
+ * The base (synchronous) processor instantiates the same five regions
+ * but drives them from clocks with identical period and phase, and
+ * couples them with synchronous latches instead of asynchronous FIFOs.
+ */
+
+#ifndef CORE_DOMAIN_HH
+#define CORE_DOMAIN_HH
+
+#include <array>
+#include <cstdint>
+
+namespace gals
+{
+
+/** Identifier of one locally synchronous region. */
+enum class DomainId : std::uint8_t
+{
+    fetch = 0, ///< clock domain 1 in the paper
+    decode,    ///< clock domain 2
+    intd,      ///< clock domain 3
+    fpd,       ///< clock domain 4
+    memd,      ///< clock domain 5
+    numDomains
+};
+
+constexpr unsigned numDomains =
+    static_cast<unsigned>(DomainId::numDomains);
+
+/** Short lowercase name ("fetch", "decode", "int", "fp", "mem"). */
+const char *domainName(DomainId d);
+
+/** Per-domain value holder. */
+template <typename T>
+using PerDomain = std::array<T, numDomains>;
+
+/** Index helper. */
+constexpr unsigned
+domainIndex(DomainId d)
+{
+    return static_cast<unsigned>(d);
+}
+
+} // namespace gals
+
+#endif // CORE_DOMAIN_HH

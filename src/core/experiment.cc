@@ -1,0 +1,103 @@
+#include "core/experiment.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+RunResults
+runOne(const RunConfig &cfg)
+{
+    const BenchmarkProfile &profile = findBenchmark(cfg.benchmark);
+
+    ProcessorConfig pc = cfg.proc;
+    pc.gals = cfg.gals;
+    pc.dvfs = cfg.gals ? cfg.dvfs : DvfsSetting();
+    pc.phaseSeed =
+        cfg.phaseSeed == ~std::uint64_t(0) ? cfg.seed : cfg.phaseSeed;
+
+    EventQueue eq("eq." + cfg.benchmark);
+    Processor proc(eq, pc, profile, cfg.seed);
+    proc.run(cfg.instructions);
+
+    RunResults r;
+    r.benchmark = cfg.benchmark;
+    r.gals = cfg.gals;
+
+    const CommitStats &cs = proc.decodeUnit().commitStats();
+    r.committed = cs.committed;
+    r.fetched = proc.fetch().fetched();
+    r.wrongPathFetched = proc.fetch().wrongPathFetched();
+    r.ticks = proc.runTicks();
+    r.timeSec = tickToSeconds(r.ticks);
+    const double nominal_cycles =
+        static_cast<double>(r.ticks) /
+        static_cast<double>(pc.nominalPeriod);
+    r.ipcNominal = nominal_cycles > 0.0 ? r.committed / nominal_cycles
+                                        : 0.0;
+
+    const double energy_nj = proc.finalizeEnergyNj();
+    r.energyJ = energy_nj * 1e-9;
+    r.avgPowerW = r.timeSec > 0.0 ? r.energyJ / r.timeSec : 0.0;
+    for (unsigned i = 0; i < numUnits; ++i) {
+        const Unit u = static_cast<Unit>(i);
+        r.unitEnergyNj[unitName(u)] = proc.energy().unitEnergyNj(u);
+    }
+    r.fifoEvents = proc.fifoEvents();
+
+    const double period = static_cast<double>(pc.nominalPeriod);
+    if (cs.committed > 0) {
+        r.avgSlipCycles =
+            cs.slipSumTicks / double(cs.committed) / period;
+        r.avgFifoSlipCycles =
+            cs.fifoSlipSumTicks / double(cs.committed) / period;
+    }
+
+    r.misspecFraction =
+        r.fetched ? double(r.wrongPathFetched) / double(r.fetched) : 0.0;
+    r.mispredictsPerKCommitted =
+        r.committed ? 1000.0 * double(cs.committedMispredicts) /
+                          double(r.committed)
+                    : 0.0;
+    const BranchUnit &bu = proc.fetch().branchUnit();
+    const std::uint64_t dir_total = bu.dirCorrect() + bu.dirWrong();
+    r.dirAccuracy =
+        dir_total ? double(bu.dirCorrect()) / double(dir_total) : 1.0;
+
+    r.avgRobOcc = proc.decodeUnit().avgRobOccupancy();
+    r.avgIntRenames = proc.decodeUnit().avgIntRenames();
+    r.avgFpRenames = proc.decodeUnit().avgFpRenames();
+    r.intIQOcc = proc.intCluster().avgQueueOccupancy();
+    r.fpIQOcc = proc.fpCluster().avgQueueOccupancy();
+    r.memIQOcc = proc.memCluster().avgQueueOccupancy();
+
+    r.il1MissRate = proc.caches().il1().missRate();
+    r.dl1MissRate = proc.caches().dl1().missRate();
+    r.l2MissRate = proc.caches().l2().missRate();
+
+    return r;
+}
+
+PairResults
+runPair(const std::string &benchmark, std::uint64_t instructions,
+        const DvfsSetting &galsDvfs, std::uint64_t seed,
+        const ProcessorConfig &baseProc)
+{
+    RunConfig base;
+    base.benchmark = benchmark;
+    base.instructions = instructions;
+    base.gals = false;
+    base.seed = seed;
+    base.proc = baseProc;
+
+    RunConfig galsCfg = base;
+    galsCfg.gals = true;
+    galsCfg.dvfs = galsDvfs;
+
+    PairResults pr;
+    pr.base = runOne(base);
+    pr.galsRun = runOne(galsCfg);
+    return pr;
+}
+
+} // namespace gals

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Experiment harness: runs one processor configuration on one
+ * benchmark and extracts every metric the paper reports; pairs a base
+ * run with a GALS run for the normalized comparisons of Figures 5-13.
+ */
+
+#ifndef CORE_EXPERIMENT_HH
+#define CORE_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+
+#include "core/processor.hh"
+#include "workload/profile.hh"
+
+namespace gals
+{
+
+/** One simulation to run. */
+struct RunConfig
+{
+    std::string benchmark = "gcc";
+    std::uint64_t instructions = 100000;
+    bool gals = false;
+    DvfsSetting dvfs;          ///< applied in GALS mode only
+    std::uint64_t seed = 0;    ///< workload seed
+    /** Clock-phase seed; defaults to the workload seed. Set it
+     *  independently to vary phases over an identical instruction
+     *  stream (the section 5.1 phase-sensitivity experiment). */
+    std::uint64_t phaseSeed = ~std::uint64_t(0);
+    ProcessorConfig proc;      ///< gals/dvfs fields are overridden
+};
+
+/** Everything measured in one run. */
+struct RunResults
+{
+    std::string benchmark;
+    bool gals = false;
+
+    /** @name Throughput */
+    /// @{
+    std::uint64_t committed = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t wrongPathFetched = 0;
+    Tick ticks = 0;
+    double timeSec = 0.0;
+    double ipcNominal = 0.0; ///< committed per nominal clock period
+    /// @}
+
+    /** @name Energy / power */
+    /// @{
+    double energyJ = 0.0;
+    double avgPowerW = 0.0;
+    std::map<std::string, double> unitEnergyNj;
+    std::uint64_t fifoEvents = 0;
+    /// @}
+
+    /** @name Latency (paper Figures 6, 7) */
+    /// @{
+    double avgSlipCycles = 0.0;     ///< fetch-to-commit, nominal cycles
+    double avgFifoSlipCycles = 0.0; ///< portion spent inside FIFOs
+    /// @}
+
+    /** @name Speculation (paper Figure 8) */
+    /// @{
+    double misspecFraction = 0.0; ///< wrong-path / all fetched
+    double mispredictsPerKCommitted = 0.0;
+    double dirAccuracy = 0.0;
+    /// @}
+
+    /** @name Occupancies (paper section 5.1) */
+    /// @{
+    double avgRobOcc = 0.0;
+    double avgIntRenames = 0.0;
+    double avgFpRenames = 0.0;
+    double intIQOcc = 0.0, fpIQOcc = 0.0, memIQOcc = 0.0;
+    /// @}
+
+    /** @name Cache behaviour */
+    /// @{
+    double il1MissRate = 0.0, dl1MissRate = 0.0, l2MissRate = 0.0;
+    /// @}
+};
+
+/** Execute one run. */
+RunResults runOne(const RunConfig &cfg);
+
+/** A matched base/GALS pair on the same workload. */
+struct PairResults
+{
+    RunResults base;
+    RunResults galsRun;
+
+    /** Relative performance: time_base / time_gals (Figure 5). */
+    double perfRatio() const
+    {
+        return base.timeSec / galsRun.timeSec;
+    }
+    /** Normalized energy: E_gals / E_base (Figure 9). */
+    double energyRatio() const
+    {
+        return galsRun.energyJ / base.energyJ;
+    }
+    /** Normalized average power: P_gals / P_base (Figure 9). */
+    double powerRatio() const
+    {
+        return galsRun.avgPowerW / base.avgPowerW;
+    }
+    /** Slip growth: slip_gals / slip_base (Figure 6). */
+    double slipRatio() const
+    {
+        return galsRun.avgSlipCycles / base.avgSlipCycles;
+    }
+};
+
+/**
+ * Run base and GALS on one benchmark with identical workloads.
+ * @p galsDvfs applies to the GALS run only.
+ */
+PairResults runPair(const std::string &benchmark,
+                    std::uint64_t instructions,
+                    const DvfsSetting &galsDvfs = DvfsSetting(),
+                    std::uint64_t seed = 0,
+                    const ProcessorConfig &baseProc = ProcessorConfig());
+
+} // namespace gals
+
+#endif // CORE_EXPERIMENT_HH

@@ -1,0 +1,403 @@
+#include "core/processor.hh"
+
+#include <cmath>
+#include <ostream>
+
+#include "sim/logging.hh"
+#include "stats/stats.hh"
+
+namespace gals
+{
+
+void
+ProcessorConfig::validate() const
+{
+    core.validate();
+    if (nominalPeriod == 0)
+        gals_fatal("processor config: zero clock period");
+    if (fifoCapacity < 2)
+        gals_fatal("processor config: FIFO capacity must be >= 2");
+    if (syncEdges == 0)
+        gals_fatal("processor config: syncEdges must be >= 1");
+    for (const double s : dvfs.slowdown)
+        if (s < 1.0)
+            gals_fatal("processor config: slowdown ", s, " < 1");
+}
+
+Processor::Processor(EventQueue &eq, const ProcessorConfig &cfg,
+                     const BenchmarkProfile &profile,
+                     std::uint64_t runSeed)
+    : eq_(eq), cfg_(cfg), profile_(profile), gen_(profile, runSeed),
+      hier_(cfg.core.caches),
+      powerModel_(cfg.core, cfg.tech, cfg.clocks), energy_(powerModel_)
+{
+    cfg_.validate();
+    buildDomains(runSeed);
+    buildChannels();
+    buildStages();
+}
+
+Processor::~Processor()
+{
+    // Stop clocks so no event still scheduled on the queue refers to a
+    // dying domain.
+    for (auto &d : domains_)
+        if (d && d->running())
+            d->stop();
+}
+
+void
+Processor::buildDomains(std::uint64_t runSeed)
+{
+    (void)runSeed;
+    for (unsigned i = 0; i < numDomains; ++i) {
+        const auto id = static_cast<DomainId>(i);
+        const double slowdown = cfg_.dvfs.slowdown[i];
+        const Tick period = static_cast<Tick>(
+            std::llround(static_cast<double>(cfg_.nominalPeriod) *
+                         slowdown));
+        Tick phase = 0;
+        domains_[i] = std::make_unique<ClockDomain>(
+            eq_, std::string("domain.") + domainName(id), period, phase);
+        domains_[i]->setVdd(cfg_.dvfs.vddOf(id, cfg_.tech));
+    }
+}
+
+void
+Processor::buildChannels()
+{
+    const ChannelMode mode =
+        cfg_.gals ? ChannelMode::asyncFifo : ChannelMode::syncLatch;
+    auto &d = domains_;
+    auto dom = [&d](DomainId id) -> ClockDomain & {
+        return *d[domainIndex(id)];
+    };
+
+    const unsigned cap = cfg_.fifoCapacity;
+    const unsigned mcap = cfg_.msgFifoCapacity;
+    const unsigned se = cfg_.syncEdges;
+
+    fetchToDecode_ = std::make_unique<Channel<DynInstPtr>>(
+        "ch.fetch2decode", mode, dom(DomainId::fetch),
+        dom(DomainId::decode), cap, se);
+    dispatchInt_ = std::make_unique<Channel<DynInstPtr>>(
+        "ch.disp2int", mode, dom(DomainId::decode), dom(DomainId::intd),
+        cap, se);
+    dispatchFp_ = std::make_unique<Channel<DynInstPtr>>(
+        "ch.disp2fp", mode, dom(DomainId::decode), dom(DomainId::fpd),
+        cap, se);
+    dispatchMem_ = std::make_unique<Channel<DynInstPtr>>(
+        "ch.disp2mem", mode, dom(DomainId::decode), dom(DomainId::memd),
+        cap, se);
+
+    const DomainId execs[3] = {DomainId::intd, DomainId::fpd,
+                               DomainId::memd};
+    for (const DomainId p : execs) {
+        for (const DomainId c : execs) {
+            if (p == c)
+                continue;
+            wakeups_.push_back(std::make_unique<Channel<WakeupMsg>>(
+                std::string("ch.wakeup.") + domainName(p) + "2" +
+                    domainName(c),
+                mode, dom(p), dom(c), mcap, se, false));
+        }
+    }
+
+    completeInt_ = std::make_unique<Channel<CompleteMsg>>(
+        "ch.complete.int", mode, dom(DomainId::intd),
+        dom(DomainId::decode), mcap, se, false);
+    completeFp_ = std::make_unique<Channel<CompleteMsg>>(
+        "ch.complete.fp", mode, dom(DomainId::fpd),
+        dom(DomainId::decode), mcap, se, false);
+    completeMem_ = std::make_unique<Channel<CompleteMsg>>(
+        "ch.complete.mem", mode, dom(DomainId::memd),
+        dom(DomainId::decode), mcap, se, false);
+
+    redirect_ = std::make_unique<Channel<RedirectMsg>>(
+        "ch.redirect", mode, dom(DomainId::intd), dom(DomainId::fetch),
+        16, se, false);
+    storeCommit_ = std::make_unique<Channel<StoreCommitMsg>>(
+        "ch.storecommit", mode, dom(DomainId::decode),
+        dom(DomainId::memd), mcap, se, false);
+    bpredUpdate_ = std::make_unique<Channel<BpredUpdateMsg>>(
+        "ch.bpredupdate", mode, dom(DomainId::decode),
+        dom(DomainId::fetch), mcap, se, false);
+
+    allChannels_ = {fetchToDecode_.get(), dispatchInt_.get(),
+                    dispatchFp_.get(),    dispatchMem_.get(),
+                    completeInt_.get(),   completeFp_.get(),
+                    completeMem_.get(),   redirect_.get(),
+                    storeCommit_.get(),   bpredUpdate_.get()};
+    for (auto &w : wakeups_)
+        allChannels_.push_back(w.get());
+}
+
+void
+Processor::buildStages()
+{
+    auto &d = domains_;
+    auto dom = [&d](DomainId id) -> ClockDomain & {
+        return *d[domainIndex(id)];
+    };
+
+    fetch_ = std::make_unique<FetchStage>(
+        cfg_.core, dom(DomainId::fetch), dom(DomainId::memd), gen_,
+        hier_, energy_, *fetchToDecode_, *redirect_, *bpredUpdate_,
+        cfg_.gals, cfg_.syncEdges);
+    fetch_->onSquash([this](InstSeqNum seq) { squashFrom(seq); });
+
+    decode_ = std::make_unique<DecodeCommitUnit>(
+        cfg_.core, dom(DomainId::decode), energy_, *fetchToDecode_,
+        *dispatchInt_, *dispatchFp_, *dispatchMem_,
+        std::vector<Channel<CompleteMsg> *>{completeInt_.get(),
+                                            completeFp_.get(),
+                                            completeMem_.get()},
+        *storeCommit_, *bpredUpdate_);
+
+    // Wakeup channel layout (producer-major, skipping self):
+    //   [0] int->fp  [1] int->mem
+    //   [2] fp->int  [3] fp->mem
+    //   [4] mem->int [5] mem->fp
+    auto wk = [this](unsigned i) { return wakeups_[i].get(); };
+
+    execInt_ = std::make_unique<ExecDomain>(
+        ExecKind::intCluster, cfg_.core, dom(DomainId::intd), energy_,
+        *dispatchInt_,
+        std::vector<Channel<WakeupMsg> *>{wk(2), wk(4)},
+        std::vector<Channel<WakeupMsg> *>{wk(0), wk(1)}, *completeInt_,
+        redirect_.get(), nullptr, nullptr);
+
+    execFp_ = std::make_unique<ExecDomain>(
+        ExecKind::fpCluster, cfg_.core, dom(DomainId::fpd), energy_,
+        *dispatchFp_,
+        std::vector<Channel<WakeupMsg> *>{wk(0), wk(5)},
+        std::vector<Channel<WakeupMsg> *>{wk(2), wk(3)}, *completeFp_,
+        nullptr, nullptr, nullptr);
+
+    execMem_ = std::make_unique<ExecDomain>(
+        ExecKind::memCluster, cfg_.core, dom(DomainId::memd), energy_,
+        *dispatchMem_,
+        std::vector<Channel<WakeupMsg> *>{wk(1), wk(3)},
+        std::vector<Channel<WakeupMsg> *>{wk(4), wk(5)}, *completeMem_,
+        nullptr, storeCommit_.get(), &hier_);
+
+    // Tickers: stage logic first (priority 10), energy close-out last
+    // (priority 90). Domains are started in reverse pipeline order so
+    // that, in the synchronous machine, consumers tick before
+    // producers at equal time.
+    dom(DomainId::intd).addTicker([this] { execInt_->tick(); }, 10);
+    dom(DomainId::fpd).addTicker([this] { execFp_->tick(); }, 10);
+    dom(DomainId::memd).addTicker([this] { execMem_->tick(); }, 10);
+    dom(DomainId::decode).addTicker([this] { decode_->tick(); }, 10);
+    dom(DomainId::fetch).addTicker([this] { fetch_->tick(); }, 10);
+
+    for (unsigned i = 0; i < numDomains; ++i) {
+        const auto id = static_cast<DomainId>(i);
+        ClockDomain *cd = domains_[i].get();
+        cd->addTicker(
+            [this, id, cd] { energy_.domainCycle(id, cd->vdd()); }, 90);
+    }
+    if (!cfg_.gals) {
+        // The global clock grid switches every cycle of the (single)
+        // clock; charge it from the reference domain.
+        ClockDomain *ref = domains_[domainIndex(DomainId::decode)].get();
+        ref->addTicker(
+            [this, ref] { energy_.globalClockCycle(ref->vdd()); }, 91);
+    }
+}
+
+void
+Processor::squashFrom(InstSeqNum afterSeq)
+{
+    auto younger = [afterSeq](const DynInstPtr &inst) {
+        if (inst->seq > afterSeq) {
+            inst->squashed = true;
+            return true;
+        }
+        return false;
+    };
+    fetchToDecode_->squash(younger);
+    dispatchInt_->squash(younger);
+    dispatchFp_->squash(younger);
+    dispatchMem_->squash(younger);
+
+    decode_->squashAfter(afterSeq);
+    execInt_->squashAfter(afterSeq);
+    execFp_->squashAfter(afterSeq);
+    execMem_->squashAfter(afterSeq);
+}
+
+void
+Processor::run(std::uint64_t targetCommitted)
+{
+    gals_assert(targetCommitted > 0, "nothing to run");
+
+    fetch_->setFetchLimit(targetCommitted);
+
+    // Start clocks in reverse pipeline order (see buildStages). In
+    // GALS mode each clock gets a random initial phase (section 4.3:
+    // "the starting phase of each clock was set to a random value at
+    // runtime").
+    Rng phase_rng(cfg_.phaseSeed * 0x9e3779b97f4a7c15ULL + 0x1234567ULL);
+    const DomainId start_order[numDomains] = {
+        DomainId::intd, DomainId::fpd, DomainId::memd, DomainId::decode,
+        DomainId::fetch};
+    for (const DomainId id : start_order) {
+        ClockDomain &cd = domain(id);
+        if (cfg_.gals && cfg_.randomPhase)
+            cd.setPhase(phase_rng.range(0, cd.period() - 1));
+        cd.start();
+    }
+
+    const Tick watchdog_ticks =
+        cfg_.watchdogCycles * cfg_.nominalPeriod;
+    std::uint64_t last_committed = 0;
+    Tick last_progress = 0;
+
+    while (decode_->commitStats().committed < targetCommitted) {
+        gals_assert(!eq_.empty(), "event queue drained mid-run");
+        eq_.serviceOne();
+
+        const std::uint64_t c = decode_->commitStats().committed;
+        if (c != last_committed) {
+            last_committed = c;
+            last_progress = eq_.now();
+        } else if (eq_.now() - last_progress > watchdog_ticks) {
+            gals_panic("watchdog: no commit for ", cfg_.watchdogCycles,
+                       " cycles at tick ", eq_.now(), " (committed ",
+                       c, "/", targetCommitted, ", rob=",
+                       decode_->rob().size(), ", intIQ=",
+                       execInt_->queue().size(), ", fpIQ=",
+                       execFp_->queue().size(), ", memIQ=",
+                       execMem_->queue().size(), ")");
+        }
+    }
+
+    endTick_ = eq_.now();
+    for (auto &cd : domains_)
+        cd->stop();
+}
+
+void
+Processor::dumpStats(std::ostream &os)
+{
+    using stats::Scalar;
+    using stats::StatGroup;
+
+    StatGroup top(cfg_.gals ? "gals" : "base");
+    auto scalar = [&top](const char *name, double v, const char *desc) {
+        auto *s = new Scalar(&top, name, desc);
+        *s = v;
+        return s;
+    };
+
+    const CommitStats &cs = decode_->commitStats();
+    const double period = static_cast<double>(cfg_.nominalPeriod);
+    const double cycles = static_cast<double>(endTick_) / period;
+
+    scalar("sim_ticks", static_cast<double>(endTick_),
+           "simulated time (ps)");
+    scalar("committed_insts", static_cast<double>(cs.committed),
+           "committed instructions");
+    scalar("ipc", cycles > 0 ? cs.committed / cycles : 0,
+           "instructions per nominal cycle");
+    scalar("fetched_insts", static_cast<double>(fetch_->fetched()),
+           "all fetched instructions");
+    scalar("wrong_path_insts",
+           static_cast<double>(fetch_->wrongPathFetched()),
+           "wrong-path fetches (paper Fig 8)");
+    scalar("redirects", static_cast<double>(fetch_->redirects()),
+           "branch mispredict recoveries");
+    scalar("avg_slip_cycles",
+           cs.committed ? cs.slipSumTicks / cs.committed / period : 0,
+           "fetch-to-commit latency (paper Fig 6)");
+    scalar("avg_fifo_slip_cycles",
+           cs.committed
+               ? cs.fifoSlipSumTicks / cs.committed / period
+               : 0,
+           "slip inside async FIFOs (paper Fig 7)");
+    scalar("rob_occupancy", decode_->avgRobOccupancy(), "");
+    scalar("int_renames", decode_->avgIntRenames(),
+           "speculative int registers in flight");
+    scalar("il1_miss_rate", hier_.il1().missRate(), "");
+    scalar("dl1_miss_rate", hier_.dl1().missRate(), "");
+    scalar("l2_miss_rate", hier_.l2().missRate(), "");
+    scalar("energy_mj", finalizeEnergyNj() * 1e-6, "total energy");
+    scalar("avg_power_w",
+           endTick_ ? finalizeEnergyNj() * 1e-9 /
+                          tickToSeconds(endTick_)
+                    : 0,
+           "average power");
+
+    StatGroup domains("domains", &top);
+    std::vector<std::unique_ptr<Scalar>> owned;
+    for (unsigned i = 0; i < numDomains; ++i) {
+        const auto id = static_cast<DomainId>(i);
+        auto s = std::make_unique<Scalar>(
+            &domains, std::string(domainName(id)) + "_cycles",
+            "clock cycles");
+        *s = static_cast<double>(domain(id).cycle());
+        owned.push_back(std::move(s));
+    }
+
+    StatGroup energy_grp("energy", &top);
+    for (unsigned i = 0; i < numUnits; ++i) {
+        const Unit u = static_cast<Unit>(i);
+        auto s = std::make_unique<Scalar>(
+            &energy_grp, unitName(u), "energy (nJ)");
+        *s = energy_.unitEnergyNj(u);
+        owned.push_back(std::move(s));
+    }
+
+    StatGroup fifos("channels", &top);
+    for (const ChannelBase *ch : allChannels_) {
+        auto s = std::make_unique<Scalar>(&fifos,
+                                          ch->name() + ".pushes", "");
+        *s = static_cast<double>(ch->pushes());
+        owned.push_back(std::move(s));
+    }
+
+    top.dump(os);
+
+    // Scalars created with `new` for the flat group: reclaim them.
+    for (stats::Stat *s : std::vector<stats::Stat *>(
+             top.statList().begin(), top.statList().end()))
+        delete s;
+}
+
+std::uint64_t
+Processor::fifoEvents() const
+{
+    std::uint64_t n = 0;
+    for (const ChannelBase *ch : allChannels_)
+        n += ch->pushes() + ch->pops();
+    return n;
+}
+
+double
+Processor::finalizeEnergyNj()
+{
+    if (!energyFinalized_) {
+        if (cfg_.gals) {
+            // FIFO storage energy per push/pop, plus the synchronizer
+            // flops toggling every consumer cycle on every channel.
+            energy_.chargeImmediate(Unit::fifo, fifoEvents(),
+                                    cfg_.tech.vddNominal);
+            const double sync_flops = 8.0;
+            for (const ChannelBase *ch : allChannels_) {
+                const double nj = sync_flops * cfg_.tech.cLatchFf *
+                                  cfg_.tech.vddNominal *
+                                  cfg_.tech.vddNominal * 1e-6 *
+                                  static_cast<double>(
+                                      ch->consumer().cycle());
+                energy_.chargeEnergyNj(Unit::fifo, nj,
+                                       cfg_.tech.vddNominal);
+            }
+        }
+        finalEnergyNj_ = energy_.totalNj();
+        energyFinalized_ = true;
+    }
+    return finalEnergyNj_;
+}
+
+} // namespace gals

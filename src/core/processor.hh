@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The complete processor model (paper section 4, Figure 3).
+ *
+ * One Processor instantiates the five pipeline regions — fetch,
+ * decode/rename/commit, integer, floating point, memory — each bound
+ * to a ClockDomain, and couples them with Channel objects.
+ *
+ *  - Base (synchronous) configuration: all five domains share the same
+ *    period and phase, and every channel is a synchronous latch; this
+ *    is exactly a conventional single-clock superscalar (Figure 3a).
+ *  - GALS configuration: the domains get independent periods (for the
+ *    multiple-clock experiments of section 5.2) and random initial
+ *    phases, and every channel is an asynchronous FIFO with
+ *    synchronizer latency (Figure 3b).
+ *
+ * Both configurations run the same pipeline code, so performance and
+ * power comparisons are apples-to-apples, as in the paper.
+ */
+
+#ifndef CORE_PROCESSOR_HH
+#define CORE_PROCESSOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/channel.hh"
+#include "core/domain.hh"
+#include "cpu/backend.hh"
+#include "cpu/core_config.hh"
+#include "cpu/decode.hh"
+#include "cpu/fetch.hh"
+#include "dvfs/vscale.hh"
+#include "power/clock_grid.hh"
+#include "power/energy_account.hh"
+#include "power/power_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "workload/generator.hh"
+
+namespace gals
+{
+
+/** Everything configurable about one Processor instance. */
+struct ProcessorConfig
+{
+    CoreConfig core;
+
+    /** GALS mode: async FIFOs + independent clocks. */
+    bool gals = false;
+
+    /** Nominal clock period in ticks (1000 ps = 1 GHz). */
+    Tick nominalPeriod = 1000;
+
+    /** Per-domain frequency/voltage scaling (section 5.2). */
+    DvfsSetting dvfs;
+
+    /** Capacity of instruction-carrying FIFOs. */
+    unsigned fifoCapacity = 24;
+    /** Capacity of message FIFOs (wakeups, completions, ...). */
+    unsigned msgFifoCapacity = 4096;
+    /** Synchronizer depth of the asynchronous FIFOs (edges). */
+    unsigned syncEdges = 3;
+
+    /** Randomize initial clock phases (GALS mode; section 4.3). */
+    bool randomPhase = true;
+    std::uint64_t phaseSeed = 0;
+
+    TechParams tech;
+    ClockHierarchySpec clocks = defaultClockHierarchy();
+
+    /** Abort if no instruction commits for this many nominal cycles. */
+    std::uint64_t watchdogCycles = 500000;
+
+    void validate() const;
+};
+
+/**
+ * A runnable processor bound to one synthetic workload.
+ */
+class Processor
+{
+  public:
+    Processor(EventQueue &eq, const ProcessorConfig &cfg,
+              const BenchmarkProfile &profile, std::uint64_t runSeed = 0);
+    ~Processor();
+
+    /** Run until @p targetCommitted instructions have committed. */
+    void run(std::uint64_t targetCommitted);
+
+    /** @name Component access (post-run statistics) */
+    /// @{
+    FetchStage &fetch() { return *fetch_; }
+    DecodeCommitUnit &decodeUnit() { return *decode_; }
+    ExecDomain &intCluster() { return *execInt_; }
+    ExecDomain &fpCluster() { return *execFp_; }
+    ExecDomain &memCluster() { return *execMem_; }
+    CacheHierarchy &caches() { return hier_; }
+    EnergyAccount &energy() { return energy_; }
+    const PowerModel &powerModel() const { return powerModel_; }
+    ClockDomain &domain(DomainId d)
+    {
+        return *domains_[domainIndex(d)];
+    }
+    const ProcessorConfig &config() const { return cfg_; }
+    /// @}
+
+    /** Total simulated time of the run, in ticks. */
+    Tick runTicks() const { return endTick_; }
+
+    /** All inter-region channels (for FIFO statistics). */
+    const std::vector<ChannelBase *> &channels() const
+    {
+        return allChannels_;
+    }
+
+    /** Sum of pushes+pops over all channels. */
+    std::uint64_t fifoEvents() const;
+
+    /**
+     * Total energy including the post-run FIFO charges, in nJ. Call
+     * after run(); idempotent.
+     */
+    double finalizeEnergyNj();
+
+    /**
+     * Dump a gem5-style statistics listing ("name value # desc") of
+     * the run: throughput, latency, speculation, occupancies, caches,
+     * per-channel FIFO activity and per-unit energies.
+     */
+    void dumpStats(std::ostream &os);
+
+  private:
+    void buildDomains(std::uint64_t runSeed);
+    void buildChannels();
+    void buildStages();
+    void squashFrom(InstSeqNum afterSeq);
+
+    EventQueue &eq_;
+    ProcessorConfig cfg_;
+    BenchmarkProfile profile_;
+    StreamGenerator gen_;
+    CacheHierarchy hier_;
+    PowerModel powerModel_;
+    EnergyAccount energy_;
+
+    PerDomain<std::unique_ptr<ClockDomain>> domains_;
+
+    /** @name Channels */
+    /// @{
+    std::unique_ptr<Channel<DynInstPtr>> fetchToDecode_;
+    std::unique_ptr<Channel<DynInstPtr>> dispatchInt_;
+    std::unique_ptr<Channel<DynInstPtr>> dispatchFp_;
+    std::unique_ptr<Channel<DynInstPtr>> dispatchMem_;
+    /** Wakeups between the three execution domains (6 channels). */
+    std::vector<std::unique_ptr<Channel<WakeupMsg>>> wakeups_;
+    std::unique_ptr<Channel<CompleteMsg>> completeInt_;
+    std::unique_ptr<Channel<CompleteMsg>> completeFp_;
+    std::unique_ptr<Channel<CompleteMsg>> completeMem_;
+    std::unique_ptr<Channel<RedirectMsg>> redirect_;
+    std::unique_ptr<Channel<StoreCommitMsg>> storeCommit_;
+    std::unique_ptr<Channel<BpredUpdateMsg>> bpredUpdate_;
+    std::vector<ChannelBase *> allChannels_;
+    /// @}
+
+    std::unique_ptr<FetchStage> fetch_;
+    std::unique_ptr<DecodeCommitUnit> decode_;
+    std::unique_ptr<ExecDomain> execInt_;
+    std::unique_ptr<ExecDomain> execFp_;
+    std::unique_ptr<ExecDomain> execMem_;
+
+    Tick endTick_ = 0;
+    bool energyFinalized_ = false;
+    double finalEnergyNj_ = 0.0;
+};
+
+} // namespace gals
+
+#endif // CORE_PROCESSOR_HH

@@ -1,0 +1,28 @@
+#include "cpu/core_config.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+void
+CoreConfig::validate() const
+{
+    if (fetchWidth == 0 || decodeWidth == 0 || dispatchWidth == 0 ||
+        commitWidth == 0)
+        gals_fatal("core config: zero pipeline width");
+    if (intIssueWidth == 0 || fpIssueWidth == 0 || memIssueWidth == 0)
+        gals_fatal("core config: zero issue width");
+    if (fetchQueueSize == 0 || intQueueSize == 0 || fpQueueSize == 0 ||
+        memQueueSize == 0 || robSize == 0 || lsqSize == 0)
+        gals_fatal("core config: zero structure size");
+    if (numIntPhysRegs < numArchIntRegs + 1 ||
+        numFpPhysRegs < numArchFpRegs + 1)
+        gals_fatal("core config: too few physical registers (need > ",
+                   numArchIntRegs, " int / ", numArchFpRegs, " fp)");
+    if (intAlus == 0 || fpAlus == 0 || intMuls == 0 || fpMuls == 0 ||
+        memPorts == 0)
+        gals_fatal("core config: zero functional units");
+}
+
+} // namespace gals

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Microarchitectural configuration of the simulated core, matching
+ * paper Table 3 by default: 4-wide fetch/decode, issue queues of
+ * 20/16/16 entries (int/fp/mem), 72 integer + 72 floating-point
+ * physical registers, 4 integer + 4 FP ALUs, and the Table 3 cache
+ * hierarchy.
+ */
+
+#ifndef CPU_CORE_CONFIG_HH
+#define CPU_CORE_CONFIG_HH
+
+#include "bpred/bpred.hh"
+#include "cache/hierarchy.hh"
+
+namespace gals
+{
+
+/** Widths, structure sizes and functional-unit counts of the core. */
+struct CoreConfig
+{
+    /** @name Pipeline widths (instructions per cycle) */
+    /// @{
+    unsigned fetchWidth = 4;   ///< Table 3: fetch rate 4 inst/cycle
+    unsigned decodeWidth = 4;  ///< Table 3: decode rate 4 inst/cycle
+    unsigned dispatchWidth = 4;
+    unsigned commitWidth = 4;
+    unsigned intIssueWidth = 4;
+    unsigned fpIssueWidth = 4;
+    unsigned memIssueWidth = 2;
+    /// @}
+
+    /** @name Queue / structure sizes */
+    /// @{
+    unsigned fetchQueueSize = 8;
+    unsigned intQueueSize = 20;  ///< Table 3
+    unsigned fpQueueSize = 16;   ///< Table 3
+    unsigned memQueueSize = 16;  ///< Table 3
+    unsigned robSize = 80;
+    unsigned lsqSize = 32;
+    unsigned numIntPhysRegs = 72; ///< Table 3
+    unsigned numFpPhysRegs = 72;  ///< Table 3
+    /// @}
+
+    /** @name Functional units */
+    /// @{
+    unsigned intAlus = 4;  ///< Table 3
+    unsigned fpAlus = 4;   ///< Table 3
+    unsigned intMuls = 1;  ///< shared multiply/divide unit
+    unsigned fpMuls = 1;   ///< shared fp multiply/divide unit
+    unsigned memPorts = 2; ///< D-cache ports
+    /// @}
+
+    /** Decode depth in domain-2 cycles between fetch queue and
+     *  dispatch (paper Table 2 stages 2-4). */
+    unsigned decodePipeDepth = 2;
+
+    BranchUnit::Config bpred;
+    HierarchyConfig caches;
+
+    /** Total physical registers (int + fp), for scoreboard sizing. */
+    unsigned
+    totalPhysRegs() const
+    {
+        return numIntPhysRegs + numFpPhysRegs;
+    }
+
+    /** Sanity checks; fatal on nonsense. */
+    void validate() const;
+};
+
+} // namespace gals
+
+#endif // CPU_CORE_CONFIG_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Clock domain 2 of the GALS processor: instruction decode, register
+ * rename, dispatch into the three issue queues, and — because the ROB
+ * and rename state live here — in-order commit (paper Table 2 binds
+ * pipeline stages 2-4 and 8 to domain 2).
+ */
+
+#ifndef CPU_DECODE_HH
+#define CPU_DECODE_HH
+
+#include <deque>
+#include <vector>
+
+#include "core/channel.hh"
+#include "cpu/core_config.hh"
+#include "cpu/messages.hh"
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+#include "power/energy_account.hh"
+#include "sim/clock_domain.hh"
+
+namespace gals
+{
+
+/** Commit-time aggregate statistics. */
+struct CommitStats
+{
+    std::uint64_t committed = 0;
+    std::uint64_t committedBranches = 0;
+    std::uint64_t committedMispredicts = 0;
+    std::uint64_t committedLoads = 0;
+    std::uint64_t committedStores = 0;
+    double slipSumTicks = 0.0;
+    double fifoSlipSumTicks = 0.0;
+    Tick lastCommitTick = 0;
+};
+
+/**
+ * Decode + rename + dispatch + commit (clock domain 2).
+ */
+class DecodeCommitUnit
+{
+  public:
+    DecodeCommitUnit(const CoreConfig &cfg, ClockDomain &domain,
+                     EnergyAccount &energy, Channel<DynInstPtr> &fetchIn,
+                     Channel<DynInstPtr> &toInt,
+                     Channel<DynInstPtr> &toFp,
+                     Channel<DynInstPtr> &toMem,
+                     std::vector<Channel<CompleteMsg> *> completeIns,
+                     Channel<StoreCommitMsg> &storeCommitOut,
+                     Channel<BpredUpdateMsg> &bpredUpdateOut);
+
+    /** One decode-domain cycle. */
+    void tick();
+
+    /** Mispredict recovery: flush younger state in this domain. */
+    void squashAfter(InstSeqNum afterSeq);
+
+    /** @name Occupancy & throughput statistics */
+    /// @{
+    const CommitStats &commitStats() const { return commitStats_; }
+    Rob &rob() { return rob_; }
+    RenameUnit &rename() { return rename_; }
+    double avgRobOccupancy() const;
+    double avgIntRenames() const;
+    double avgFpRenames() const;
+    std::uint64_t dispatched() const { return dispatched_; }
+    std::uint64_t decodeStallCycles() const { return stallCycles_; }
+    /// @}
+
+  private:
+    void doCommit(Tick now);
+    void doDecode(Tick now);
+    void doDispatch(Tick now);
+    Channel<DynInstPtr> &queueFor(const DynInst &inst);
+
+    const CoreConfig &cfg_;
+    ClockDomain &domain_;
+    EnergyAccount &energy_;
+
+    Channel<DynInstPtr> &fetchIn_;
+    Channel<DynInstPtr> &toInt_;
+    Channel<DynInstPtr> &toFp_;
+    Channel<DynInstPtr> &toMem_;
+    std::vector<Channel<CompleteMsg> *> completeIns_;
+    Channel<StoreCommitMsg> &storeCommitOut_;
+    Channel<BpredUpdateMsg> &bpredUpdateOut_;
+
+    Rob rob_;
+    RenameUnit rename_;
+
+    /** Internal decode pipeline (paper stages 2-3). */
+    struct PipeEntry
+    {
+        DynInstPtr inst;
+        Cycle readyCycle;
+    };
+    std::deque<PipeEntry> decodePipe_;
+
+    CommitStats commitStats_;
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t stallCycles_ = 0;
+
+    /** Occupancy accumulators (sampled once per cycle). */
+    std::uint64_t occSamples_ = 0;
+    std::uint64_t robOccSum_ = 0;
+    std::uint64_t intRenameSum_ = 0;
+    std::uint64_t fpRenameSum_ = 0;
+};
+
+} // namespace gals
+
+#endif // CPU_DECODE_HH

@@ -1,0 +1,77 @@
+#include "cpu/fu_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+FuPool::FuPool(unsigned simpleUnits, unsigned mulUnits, unsigned memPorts)
+    : simpleUnits_(simpleUnits), mulUnits_(mulUnits), memPorts_(memPorts)
+{
+}
+
+FuPool::Group
+FuPool::groupOf(InstClass cls) const
+{
+    switch (cls) {
+      case InstClass::intAlu:
+      case InstClass::fpAlu:
+      case InstClass::condBranch:
+      case InstClass::uncondBranch:
+      case InstClass::call:
+      case InstClass::ret:
+        return Group::simple;
+      case InstClass::intMult:
+      case InstClass::intDiv:
+      case InstClass::fpMult:
+      case InstClass::fpDiv:
+        return Group::mul;
+      case InstClass::load:
+      case InstClass::store:
+        return Group::mem;
+      default:
+        gals_panic("bad class in FuPool");
+    }
+}
+
+void
+FuPool::newCycle(Cycle cycle)
+{
+    cycle_ = cycle;
+    simpleUsed_ = mulUsed_ = memUsed_ = 0;
+}
+
+bool
+FuPool::available(InstClass cls) const
+{
+    switch (groupOf(cls)) {
+      case Group::simple:
+        return simpleUsed_ < simpleUnits_;
+      case Group::mul:
+        return mulUsed_ < mulUnits_ && cycle_ >= mulBusyUntil_;
+      case Group::mem:
+        return memUsed_ < memPorts_;
+    }
+    return false;
+}
+
+void
+FuPool::allocate(InstClass cls, Cycle busyUntilCycle)
+{
+    gals_assert(available(cls), "allocate without availability");
+    switch (groupOf(cls)) {
+      case Group::simple:
+        ++simpleUsed_;
+        break;
+      case Group::mul:
+        ++mulUsed_;
+        if (!instPipelined(cls))
+            mulBusyUntil_ = busyUntilCycle;
+        break;
+      case Group::mem:
+        ++memUsed_;
+        break;
+    }
+}
+
+} // namespace gals

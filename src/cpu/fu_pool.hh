@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Functional unit pool for one clock domain: per-class unit counts,
+ * per-cycle issue-slot tracking for pipelined units and busy-until
+ * reservation for unpipelined ones (divides).
+ */
+
+#ifndef CPU_FU_POOL_HH
+#define CPU_FU_POOL_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+#include "sim/ticks.hh"
+
+namespace gals
+{
+
+/**
+ * Tracks functional-unit availability within one domain.
+ *
+ * Unit groups:
+ *  - simple ALUs (intAlu + branches, or fpAlu): pipelined, N units
+ *  - multiplier (intMult / fpMult): pipelined, M units
+ *  - divider: shares the multiplier, unpipelined (busy for the
+ *    operation's full latency)
+ *  - memory ports (loads/stores)
+ */
+class FuPool
+{
+  public:
+    /**
+     * @param simpleUnits  ALU count
+     * @param mulUnits     multiplier/divider count
+     * @param memPorts     cache ports (0 for non-memory domains)
+     */
+    FuPool(unsigned simpleUnits, unsigned mulUnits, unsigned memPorts);
+
+    /** Start a new cycle: clears per-cycle issue slots. */
+    void newCycle(Cycle cycle);
+
+    /** Can an instruction of @p cls issue this cycle? */
+    bool available(InstClass cls) const;
+
+    /**
+     * Consume a unit for @p cls. Unpipelined classes reserve their
+     * unit until @p busyUntilCycle.
+     * @pre available(cls)
+     */
+    void allocate(InstClass cls, Cycle busyUntilCycle);
+
+  private:
+    enum class Group : std::uint8_t { simple, mul, mem };
+    Group groupOf(InstClass cls) const;
+
+    unsigned simpleUnits_, mulUnits_, memPorts_;
+    unsigned simpleUsed_ = 0, mulUsed_ = 0, memUsed_ = 0;
+    Cycle cycle_ = 0;
+    Cycle mulBusyUntil_ = 0; ///< divider reservation (whole group)
+};
+
+} // namespace gals
+
+#endif // CPU_FU_POOL_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Out-of-order issue queue (one of three: int / fp / mem, paper Table
+ * 3). Entries wait for their source operands to become ready in the
+ * owning domain's scoreboard view and issue oldest-first.
+ */
+
+#ifndef CPU_ISSUE_QUEUE_HH
+#define CPU_ISSUE_QUEUE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/scoreboard.hh"
+#include "isa/dyn_inst.hh"
+
+namespace gals
+{
+
+/**
+ * Age-ordered issue queue with per-operand ready bits.
+ */
+class IssueQueue
+{
+  public:
+    IssueQueue(std::string name, unsigned capacity,
+               const Scoreboard &view);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    unsigned size() const
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+    unsigned capacity() const { return capacity_; }
+
+    /** Insert at dispatch; readiness snapshot from the scoreboard. */
+    void insert(const DynInstPtr &inst);
+
+    /** A wakeup arrived: refresh matching operands' ready bits. */
+    void wakeup(PhysRegId reg, std::uint32_t epoch);
+
+    /**
+     * Select up to @p width ready instructions, oldest first, subject
+     * to @p fuAvailable (checked and consumed per candidate). Selected
+     * entries are removed from the queue.
+     */
+    std::vector<DynInstPtr>
+    selectIssue(unsigned width,
+                const std::function<bool(const DynInst &)> &fuAvailable);
+
+    /** Remove all entries younger than @p afterSeq. @return count. */
+    unsigned squashAfter(InstSeqNum afterSeq);
+
+    /** Number of wakeup-match operations (power accounting). */
+    std::uint64_t wakeupMatches() const { return wakeupMatches_; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        DynInstPtr inst;
+        bool ready[DynInst::maxSrcs];
+        bool allReady;
+    };
+
+    void refreshReady(Entry &e) const;
+
+    std::string name_;
+    unsigned capacity_;
+    const Scoreboard &view_;
+    std::vector<Entry> entries_; ///< kept in age order
+    std::uint64_t wakeupMatches_ = 0;
+};
+
+} // namespace gals
+
+#endif // CPU_ISSUE_QUEUE_HH

@@ -1,0 +1,84 @@
+#include "cpu/lsq.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+namespace
+{
+constexpr std::uint64_t lineMask = ~std::uint64_t(31); // 32B lines
+}
+
+Lsq::Lsq(unsigned capacity) : capacity_(capacity)
+{
+    gals_assert(capacity_ > 0, "LSQ needs capacity");
+}
+
+void
+Lsq::insert(const DynInstPtr &inst)
+{
+    gals_assert(!full(), "insert into full LSQ");
+    gals_assert(inst->isMem(), "non-memory instruction in LSQ");
+    q_.push_back(inst);
+}
+
+bool
+Lsq::loadForwards(const DynInstPtr &load) const
+{
+    const std::uint64_t line = load->memAddr & lineMask;
+    // Scan older entries for an executed store to the same line.
+    for (auto it = q_.rbegin(); it != q_.rend(); ++it) {
+        const DynInstPtr &e = *it;
+        if (e->seq >= load->seq)
+            continue;
+        if (e->isStore() && e->completed &&
+            (e->memAddr & lineMask) == line) {
+            ++forwarded_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Lsq::removeLoad(InstSeqNum seq)
+{
+    for (auto it = q_.begin(); it != q_.end(); ++it) {
+        if ((*it)->seq == seq) {
+            gals_assert((*it)->isLoad(), "removeLoad on a store");
+            q_.erase(it);
+            return;
+        }
+    }
+    gals_panic("removeLoad: seq ", seq, " not in LSQ");
+}
+
+void
+Lsq::removeStore(InstSeqNum seq)
+{
+    for (auto it = q_.begin(); it != q_.end(); ++it) {
+        if ((*it)->seq == seq) {
+            gals_assert((*it)->isStore(), "removeStore on a load");
+            q_.erase(it);
+            return;
+        }
+    }
+    gals_panic("removeStore: seq ", seq, " not in LSQ");
+}
+
+unsigned
+Lsq::squashAfter(InstSeqNum afterSeq)
+{
+    const auto old_size = q_.size();
+    q_.erase(std::remove_if(q_.begin(), q_.end(),
+                            [afterSeq](const DynInstPtr &e) {
+                                return e->seq > afterSeq;
+                            }),
+             q_.end());
+    return static_cast<unsigned>(old_size - q_.size());
+}
+
+} // namespace gals

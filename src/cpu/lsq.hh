@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Load/store queue: tracks in-flight memory operations in the memory
+ * domain, provides store-to-load forwarding by address match, and
+ * holds stores until commit releases them to the D-cache.
+ */
+
+#ifndef CPU_LSQ_HH
+#define CPU_LSQ_HH
+
+#include <deque>
+
+#include "isa/dyn_inst.hh"
+
+namespace gals
+{
+
+/**
+ * Unified LSQ (capacity shared between loads and stores).
+ */
+class Lsq
+{
+  public:
+    explicit Lsq(unsigned capacity);
+
+    bool full() const { return q_.size() >= capacity_; }
+    unsigned size() const { return static_cast<unsigned>(q_.size()); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Insert a memory instruction (program order). */
+    void insert(const DynInstPtr &inst);
+
+    /**
+     * Would a load at @p addr forward from an older, executed store?
+     * Line-granularity match, newest older store wins.
+     */
+    bool loadForwards(const DynInstPtr &load) const;
+
+    /** Remove a completed load (loads leave at completion). */
+    void removeLoad(InstSeqNum seq);
+
+    /** Remove a committed store. */
+    void removeStore(InstSeqNum seq);
+
+    /** Squash everything younger than @p afterSeq. @return count. */
+    unsigned squashAfter(InstSeqNum afterSeq);
+
+    std::uint64_t forwarded() const { return forwarded_; }
+
+  private:
+    unsigned capacity_;
+    std::deque<DynInstPtr> q_;
+    mutable std::uint64_t forwarded_ = 0;
+};
+
+} // namespace gals
+
+#endif // CPU_LSQ_HH

@@ -1,0 +1,125 @@
+#include "cpu/rename.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+RenameUnit::RenameUnit(unsigned numIntPhys, unsigned numFpPhys)
+    : numIntPhys_(numIntPhys), numFpPhys_(numFpPhys),
+      rat_(numArchRegs, invalidPhysReg),
+      allocEpoch_(numIntPhys + numFpPhys, 0)
+{
+    gals_assert(numIntPhys_ > numArchIntRegs,
+                "need more int phys regs than arch regs");
+    gals_assert(numFpPhys_ > numArchFpRegs,
+                "need more fp phys regs than arch regs");
+
+    // Initial mapping: int arch reg a -> phys a; fp arch reg a ->
+    // phys numIntPhys_ + (a - numArchIntRegs). The rest are free.
+    for (unsigned a = 0; a < numArchIntRegs; ++a)
+        rat_[a] = static_cast<PhysRegId>(a);
+    for (unsigned a = 0; a < numArchFpRegs; ++a)
+        rat_[numArchIntRegs + a] =
+            static_cast<PhysRegId>(numIntPhys_ + a);
+
+    for (unsigned p = numArchIntRegs; p < numIntPhys_; ++p)
+        freeInt_.push_back(static_cast<PhysRegId>(p));
+    for (unsigned p = numArchFpRegs; p < numFpPhys_; ++p)
+        freeFp_.push_back(static_cast<PhysRegId>(numIntPhys_ + p));
+}
+
+bool
+RenameUnit::needsFpDest(const DynInst &inst) const
+{
+    return inst.hasDest() && isFpReg(inst.dest);
+}
+
+bool
+RenameUnit::canRename(const DynInst &inst) const
+{
+    if (!inst.hasDest())
+        return true;
+    return needsFpDest(inst) ? !freeFp_.empty() : !freeInt_.empty();
+}
+
+void
+RenameUnit::rename(DynInst &inst)
+{
+    gals_assert(canRename(inst), "rename without a free register");
+
+    for (unsigned i = 0; i < inst.numSrcs; ++i) {
+        const RegId a = inst.srcs[i];
+        gals_assert(a >= 0 && a < static_cast<RegId>(numArchRegs),
+                    "bad source arch reg ", a);
+        const PhysRegId p = rat_[a];
+        inst.physSrcs[i] = p;
+        inst.srcEpochs[i] = allocEpoch_[p];
+    }
+
+    if (inst.hasDest()) {
+        PhysRegId p;
+        if (needsFpDest(inst)) {
+            p = freeFp_.back();
+            freeFp_.pop_back();
+        } else {
+            p = freeInt_.back();
+            freeInt_.pop_back();
+        }
+        inst.oldPhysDest = rat_[inst.dest];
+        inst.physDest = p;
+        inst.destEpoch = ++allocEpoch_[p];
+        rat_[inst.dest] = p;
+    }
+}
+
+void
+RenameUnit::commitFree(const DynInst &inst)
+{
+    if (!inst.hasDest() || inst.oldPhysDest == invalidPhysReg)
+        return;
+    if (isFpReg(inst.dest))
+        freeFp_.push_back(inst.oldPhysDest);
+    else
+        freeInt_.push_back(inst.oldPhysDest);
+}
+
+void
+RenameUnit::squashFree(const DynInst &inst)
+{
+    if (!inst.hasDest() || inst.physDest == invalidPhysReg)
+        return;
+    if (isFpReg(inst.dest))
+        freeFp_.push_back(inst.physDest);
+    else
+        freeInt_.push_back(inst.physDest);
+}
+
+void
+RenameUnit::checkpoint(InstSeqNum branchSeq)
+{
+    gals_assert(!checkpointValid_,
+                "nested RAT checkpoints are not supported (seq ",
+                branchSeq, " over ", checkpointSeq_, ")");
+    checkpointValid_ = true;
+    checkpointSeq_ = branchSeq;
+    checkpointRat_ = rat_;
+}
+
+void
+RenameUnit::restore(InstSeqNum branchSeq)
+{
+    gals_assert(checkpointValid_, "restore without a checkpoint");
+    gals_assert(checkpointSeq_ == branchSeq, "checkpoint seq mismatch: ",
+                checkpointSeq_, " vs ", branchSeq);
+    rat_ = checkpointRat_;
+    checkpointValid_ = false;
+}
+
+void
+RenameUnit::discardCheckpoint()
+{
+    checkpointValid_ = false;
+}
+
+} // namespace gals

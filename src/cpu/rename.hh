@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Register renaming: architectural-to-physical map (RAT), free lists,
+ * allocation epochs and single-checkpoint recovery.
+ *
+ * The machine keeps separate integer and floating-point physical
+ * register files (72 + 72, paper Table 3). Because the synthetic
+ * front end knows at fetch time which branch will mispredict, and a
+ * second correct-path branch cannot enter the machine before the first
+ * mispredict resolves, at most one RAT checkpoint is live at any time.
+ */
+
+#ifndef CPU_RENAME_HH
+#define CPU_RENAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/dyn_inst.hh"
+#include "isa/inst.hh"
+
+namespace gals
+{
+
+/**
+ * Rename unit: RAT + free lists + epochs.
+ */
+class RenameUnit
+{
+  public:
+    RenameUnit(unsigned numIntPhys, unsigned numFpPhys);
+
+    /** Can an instruction with this destination class rename now? */
+    bool canRename(const DynInst &inst) const;
+
+    /**
+     * Rename @p inst in place: translate sources through the RAT
+     * (capturing epochs), allocate a destination physical register and
+     * remember the previous mapping for commit-time freeing.
+     * @pre canRename(inst)
+     */
+    void rename(DynInst &inst);
+
+    /** Commit: release the destination's previous physical register. */
+    void commitFree(const DynInst &inst);
+
+    /** Squash: release the register the instruction allocated. */
+    void squashFree(const DynInst &inst);
+
+    /** Save the RAT (call right after renaming a branch). */
+    void checkpoint(InstSeqNum branchSeq);
+
+    /** Restore the checkpointed RAT (mispredict recovery). */
+    void restore(InstSeqNum branchSeq);
+
+    /** Drop the checkpoint without restoring (branch was flushed or
+     *  committed). No-op if none is live. */
+    void discardCheckpoint();
+
+    bool hasCheckpoint() const { return checkpointValid_; }
+
+    /** Current allocation epoch of a physical register. */
+    std::uint32_t
+    epochOf(PhysRegId reg) const
+    {
+        return allocEpoch_[reg];
+    }
+
+    /** @name Occupancy, for the paper's RAT-occupancy statistic */
+    /// @{
+    unsigned intRegsInUse() const
+    {
+        return numIntPhys_ - static_cast<unsigned>(freeInt_.size());
+    }
+    unsigned fpRegsInUse() const
+    {
+        return numFpPhys_ - static_cast<unsigned>(freeFp_.size());
+    }
+    /** Registers beyond the architectural mapping (speculative). */
+    unsigned intRenamesInFlight() const
+    {
+        return intRegsInUse() - numArchIntRegs;
+    }
+    unsigned fpRenamesInFlight() const
+    {
+        return fpRegsInUse() - numArchFpRegs;
+    }
+    unsigned freeIntRegs() const
+    {
+        return static_cast<unsigned>(freeInt_.size());
+    }
+    unsigned freeFpRegs() const
+    {
+        return static_cast<unsigned>(freeFp_.size());
+    }
+    /// @}
+
+    /** Physical register currently mapped to an architectural one. */
+    PhysRegId
+    mapOf(RegId arch) const
+    {
+        return rat_[arch];
+    }
+
+    unsigned totalPhysRegs() const { return numIntPhys_ + numFpPhys_; }
+
+  private:
+    bool needsFpDest(const DynInst &inst) const;
+
+    unsigned numIntPhys_;
+    unsigned numFpPhys_;
+    std::vector<PhysRegId> rat_;         ///< arch -> phys
+    std::vector<PhysRegId> freeInt_;
+    std::vector<PhysRegId> freeFp_;
+    std::vector<std::uint32_t> allocEpoch_;
+
+    bool checkpointValid_ = false;
+    InstSeqNum checkpointSeq_ = 0;
+    std::vector<PhysRegId> checkpointRat_;
+};
+
+} // namespace gals
+
+#endif // CPU_RENAME_HH

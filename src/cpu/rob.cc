@@ -1,0 +1,65 @@
+#include "cpu/rob.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+Rob::Rob(unsigned capacity) : capacity_(capacity)
+{
+    gals_assert(capacity_ > 0, "ROB needs capacity");
+}
+
+void
+Rob::insert(const DynInstPtr &inst)
+{
+    gals_assert(!full(), "insert into full ROB");
+    gals_assert(q_.empty() || q_.back()->seq < inst->seq,
+                "ROB insert out of program order");
+    q_.push_back(inst);
+}
+
+const DynInstPtr &
+Rob::head() const
+{
+    gals_assert(!empty(), "head() on empty ROB");
+    return q_.front();
+}
+
+void
+Rob::popHead()
+{
+    gals_assert(!empty(), "popHead() on empty ROB");
+    q_.pop_front();
+}
+
+bool
+Rob::markCompleted(InstSeqNum seq)
+{
+    // Completions arrive out of order; search from the head since old
+    // instructions complete more often near the front.
+    for (auto &inst : q_) {
+        if (inst->seq == seq) {
+            inst->completed = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+Rob::squashAfter(InstSeqNum afterSeq,
+                 const std::function<void(DynInst &)> &onSquash)
+{
+    unsigned n = 0;
+    while (!q_.empty() && q_.back()->seq > afterSeq) {
+        DynInstPtr inst = q_.back();
+        q_.pop_back();
+        inst->squashed = true;
+        onSquash(*inst);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace gals

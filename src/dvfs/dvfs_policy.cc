@@ -1,0 +1,79 @@
+#include "dvfs/dvfs_policy.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+double
+slowdownFromPercent(double percent)
+{
+    gals_assert(percent >= 0.0 && percent < 100.0,
+                "bad slowdown percent ", percent);
+    return 100.0 / (100.0 - percent);
+}
+
+DvfsPolicy
+genericSlowdownPolicy()
+{
+    DvfsPolicy p;
+    p.name = "generic";
+    p.setting.slowdown[domainIndex(DomainId::fetch)] =
+        slowdownFromPercent(10.0);
+    p.setting.slowdown[domainIndex(DomainId::memd)] =
+        slowdownFromPercent(10.0);
+    p.setting.slowdown[domainIndex(DomainId::fpd)] =
+        slowdownFromPercent(50.0);
+    return p;
+}
+
+DvfsPolicy
+perlFpPolicy()
+{
+    DvfsPolicy p;
+    p.name = "perl-fp3x";
+    p.setting.slowdown[domainIndex(DomainId::fpd)] = 3.0;
+    return p;
+}
+
+DvfsPolicy
+ijpegSweepPolicy(unsigned memPercent)
+{
+    gals_assert(memPercent == 0 || memPercent == 10 || memPercent == 20 ||
+                    memPercent == 50,
+                "ijpeg sweep point must be 0/10/20/50, got ", memPercent);
+    DvfsPolicy p;
+    p.name = memPercent < 10 ? "gals-00"
+                             : "gals-" + std::to_string(memPercent);
+    p.setting.slowdown[domainIndex(DomainId::fetch)] =
+        slowdownFromPercent(10.0);
+    p.setting.slowdown[domainIndex(DomainId::fpd)] =
+        slowdownFromPercent(20.0);
+    if (memPercent > 0)
+        p.setting.slowdown[domainIndex(DomainId::memd)] =
+            slowdownFromPercent(memPercent);
+    return p;
+}
+
+std::vector<DvfsPolicy>
+ijpegSweepPolicies()
+{
+    return {ijpegSweepPolicy(0), ijpegSweepPolicy(10),
+            ijpegSweepPolicy(20), ijpegSweepPolicy(50)};
+}
+
+DvfsPolicy
+gccFpPolicy(unsigned variant)
+{
+    gals_assert(variant == 1 || variant == 2,
+                "gcc policy variant must be 1 or 2");
+    DvfsPolicy p;
+    p.name = "gals-" + std::to_string(variant);
+    p.setting.slowdown[domainIndex(DomainId::fetch)] =
+        slowdownFromPercent(10.0);
+    p.setting.slowdown[domainIndex(DomainId::fpd)] =
+        variant == 1 ? slowdownFromPercent(50.0) : 3.0;
+    return p;
+}
+
+} // namespace gals

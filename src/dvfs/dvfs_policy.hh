@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Named per-domain slowdown policies used by the paper's second set of
+ * experiments (section 5.2): the generic selective slowdown of Figure
+ * 11, the ijpeg memory-clock sweep of Figure 12 (gals-00/10/20/50) and
+ * the gcc floating-point slowdowns of Figure 13 (gals-1 / gals-2).
+ */
+
+#ifndef DVFS_DVFS_POLICY_HH
+#define DVFS_DVFS_POLICY_HH
+
+#include <string>
+#include <vector>
+
+#include "dvfs/vscale.hh"
+
+namespace gals
+{
+
+/** A named DVFS configuration. */
+struct DvfsPolicy
+{
+    std::string name;
+    DvfsSetting setting;
+};
+
+/**
+ * Figure 11: "the fetch clock and memory clock were slowed down by 10%
+ * and the floating point clock was slowed by 50%."
+ */
+DvfsPolicy genericSlowdownPolicy();
+
+/**
+ * Section 5.2, perl: "we slowed down the FP clock by a factor of 3."
+ */
+DvfsPolicy perlFpPolicy();
+
+/**
+ * Figure 12 (ijpeg): fetch -10%, FP -20%, memory slowed by
+ * @p memPercent percent (0, 10, 20 or 50); named gals-00/10/20/50.
+ */
+DvfsPolicy ijpegSweepPolicy(unsigned memPercent);
+
+/**
+ * Figure 13 (gcc): fetch -10%; FP slower by 50% (variant 1, "gals-1")
+ * or by a factor of 3 (variant 2, "gals-2").
+ */
+DvfsPolicy gccFpPolicy(unsigned variant);
+
+/** All four ijpeg sweep points, in paper order. */
+std::vector<DvfsPolicy> ijpegSweepPolicies();
+
+/**
+ * Convert a "slowed by X%" phrase to a frequency slowdown factor:
+ * the clock runs at (100-X)% of nominal, i.e. factor 100/(100-X).
+ */
+double slowdownFromPercent(double percent);
+
+} // namespace gals
+
+#endif // DVFS_DVFS_POLICY_HH

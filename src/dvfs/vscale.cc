@@ -1,0 +1,81 @@
+#include "dvfs/vscale.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+double
+delayFactor(double vdd, const TechParams &t)
+{
+    gals_assert(vdd > t.vt, "vdd ", vdd, " must exceed vt ", t.vt);
+    auto delay = [&t](double v) {
+        return v / std::pow(v - t.vt, t.alpha);
+    };
+    return delay(vdd) / delay(t.vddNominal);
+}
+
+double
+vddForSlowdown(double slowdown, const TechParams &t)
+{
+    gals_assert(slowdown >= 1.0, "slowdown ", slowdown, " < 1");
+    if (slowdown == 1.0)
+        return t.vddNominal;
+
+    // delayFactor is monotonically decreasing in vdd on (vt, vn]:
+    // bisect for the voltage with the requested delay growth.
+    double lo = t.vt + 1e-4;
+    double hi = t.vddNominal;
+    for (int i = 0; i < 100; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (delayFactor(mid, t) > slowdown)
+            lo = mid; // too slow: raise voltage
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+energyFactor(double vdd, const TechParams &t)
+{
+    return t.energyScale(vdd);
+}
+
+double
+DvfsSetting::vddOf(DomainId d, const TechParams &t) const
+{
+    const double s = slowdown[domainIndex(d)];
+    gals_assert(s >= 1.0, "domain ", domainName(d), " slowdown ", s,
+                " < 1");
+    if (!scaleVoltage)
+        return t.vddNominal;
+    return vddForSlowdown(s, t);
+}
+
+bool
+DvfsSetting::allNominal() const
+{
+    for (const double s : slowdown)
+        if (s != 1.0)
+            return false;
+    return true;
+}
+
+IdealScaling
+idealScalingForPerf(double perfRatio, const TechParams &t)
+{
+    gals_assert(perfRatio > 0.0 && perfRatio <= 1.0,
+                "perf ratio must be in (0, 1], got ", perfRatio);
+    IdealScaling is;
+    is.slowdown = 1.0 / perfRatio;
+    is.vdd = vddForSlowdown(is.slowdown, t);
+    is.energyFactor = energyFactor(is.vdd, t);
+    // Same cycle count at 1/s frequency: time stretches by s.
+    is.powerFactor = is.energyFactor / is.slowdown;
+    return is;
+}
+
+} // namespace gals

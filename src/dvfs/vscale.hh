@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Voltage/frequency scaling math (paper section 3.3, equation 1):
+ *
+ *     D  ∝  Vdd / (Vdd - Vt)^alpha
+ *
+ * Slowing a clock domain by a factor s >= 1 allows its supply to drop
+ * to the voltage where the logic delay has grown by exactly s; since
+ * switching energy goes as Vdd^2, that is where the energy savings of
+ * multiple-clock multiple-voltage GALS designs come from (section
+ * 5.2). The paper uses alpha = 1.6 for 0.13 um devices.
+ */
+
+#ifndef DVFS_VSCALE_HH
+#define DVFS_VSCALE_HH
+
+#include "core/domain.hh"
+#include "power/tech_params.hh"
+
+namespace gals
+{
+
+/**
+ * Relative logic delay D(vdd) / D(vddNominal) per equation 1.
+ * @pre vdd > vt.
+ */
+double delayFactor(double vdd, const TechParams &t);
+
+/**
+ * The supply voltage at which logic is exactly @p slowdown times
+ * slower than at nominal (inverse of delayFactor, by bisection).
+ *
+ * @param slowdown >= 1.0
+ * @return vdd in (vt, vddNominal]
+ */
+double vddForSlowdown(double slowdown, const TechParams &t);
+
+/** Switching-energy ratio at @p vdd relative to nominal: (V/Vn)^2. */
+double energyFactor(double vdd, const TechParams &t);
+
+/**
+ * Per-domain DVFS setting for one experiment: frequency slowdown
+ * factors (1.0 = nominal) and whether supply voltages track them.
+ */
+struct DvfsSetting
+{
+    PerDomain<double> slowdown = {1.0, 1.0, 1.0, 1.0, 1.0};
+    bool scaleVoltage = true;
+
+    /** Voltage for domain @p d under this setting. */
+    double vddOf(DomainId d, const TechParams &t) const;
+
+    /** True if every domain runs at nominal frequency. */
+    bool allNominal() const;
+};
+
+/**
+ * The "ideal" comparison the paper plots in Figures 12 and 13: the
+ * fully synchronous processor slowed uniformly (single clock, single
+ * voltage) until it matches a given performance penalty, with supply
+ * scaled per equation 1. Energy scales by (V'/Vn)^2 — cycle count is
+ * unchanged — and average power additionally divides by the slowdown.
+ */
+struct IdealScaling
+{
+    double slowdown = 1.0;     ///< >= 1
+    double vdd = 0.0;          ///< scaled supply
+    double energyFactor = 1.0; ///< E' / E
+    double powerFactor = 1.0;  ///< P' / P
+};
+
+/** Compute the ideal-scaling point for a performance ratio
+ *  @p perfRatio = perf_new / perf_base (<= 1). */
+IdealScaling idealScalingForPerf(double perfRatio, const TechParams &t);
+
+} // namespace gals
+
+#endif // DVFS_VSCALE_HH

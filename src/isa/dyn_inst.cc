@@ -1,0 +1,32 @@
+#include "isa/dyn_inst.hh"
+
+#include <sstream>
+
+namespace gals
+{
+
+std::string
+DynInst::toString() const
+{
+    std::ostringstream os;
+    os << "[" << seq << "] " << instClassName(cls) << " pc=0x" << std::hex
+       << pc << std::dec;
+    if (dest != invalidReg)
+        os << " d=r" << dest << "(p" << physDest << ")";
+    for (unsigned i = 0; i < numSrcs; ++i)
+        os << " s" << i << "=r" << srcs[i] << "(p" << physSrcs[i] << ")";
+    if (isMem())
+        os << " addr=0x" << std::hex << memAddr << std::dec;
+    if (isBranch()) {
+        os << (actualTaken ? " T" : " N") << (predTaken ? "/pT" : "/pN");
+        if (mispredicted)
+            os << " MISP";
+    }
+    if (wrongPath)
+        os << " WP";
+    if (squashed)
+        os << " SQ";
+    return os.str();
+}
+
+} // namespace gals

@@ -1,0 +1,101 @@
+#include "isa/inst.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+namespace
+{
+
+struct ClassInfo
+{
+    const char *name;
+    unsigned latency;
+    bool pipelined;
+    IssueQueueId queue;
+};
+
+/**
+ * Latencies follow SimpleScalar's defaults for an Alpha-like core:
+ * single-cycle integer ALU, 3-cycle pipelined multiply, long
+ * unpipelined divides, 2/4/12-cycle floating point.
+ */
+constexpr ClassInfo classTable[numInstClasses] = {
+    /* intAlu */       {"int_alu", 1, true, IssueQueueId::intQueue},
+    /* intMult */      {"int_mult", 3, true, IssueQueueId::intQueue},
+    /* intDiv */       {"int_div", 20, false, IssueQueueId::intQueue},
+    /* fpAlu */        {"fp_alu", 2, true, IssueQueueId::fpQueue},
+    /* fpMult */       {"fp_mult", 4, true, IssueQueueId::fpQueue},
+    /* fpDiv */        {"fp_div", 12, false, IssueQueueId::fpQueue},
+    /* load */         {"load", 1, true, IssueQueueId::memQueue},
+    /* store */        {"store", 1, true, IssueQueueId::memQueue},
+    /* condBranch */   {"cond_branch", 1, true, IssueQueueId::intQueue},
+    /* uncondBranch */ {"uncond_branch", 1, true, IssueQueueId::intQueue},
+    /* call */         {"call", 1, true, IssueQueueId::intQueue},
+    /* ret */          {"ret", 1, true, IssueQueueId::intQueue},
+};
+
+const ClassInfo &
+info(InstClass cls)
+{
+    const auto idx = static_cast<unsigned>(cls);
+    gals_assert(idx < numInstClasses, "bad instruction class ", idx);
+    return classTable[idx];
+}
+
+} // namespace
+
+const char *
+instClassName(InstClass cls)
+{
+    return info(cls).name;
+}
+
+unsigned
+instLatency(InstClass cls)
+{
+    return info(cls).latency;
+}
+
+bool
+instPipelined(InstClass cls)
+{
+    return info(cls).pipelined;
+}
+
+IssueQueueId
+instQueue(InstClass cls)
+{
+    return info(cls).queue;
+}
+
+bool
+isBranchClass(InstClass cls)
+{
+    return cls == InstClass::condBranch || cls == InstClass::uncondBranch ||
+           cls == InstClass::call || cls == InstClass::ret;
+}
+
+bool
+isMemClass(InstClass cls)
+{
+    return cls == InstClass::load || cls == InstClass::store;
+}
+
+bool
+isFpClass(InstClass cls)
+{
+    return cls == InstClass::fpAlu || cls == InstClass::fpMult ||
+           cls == InstClass::fpDiv;
+}
+
+bool
+writesDest(InstClass cls)
+{
+    if (isBranchClass(cls))
+        return cls == InstClass::call; // link register
+    return cls != InstClass::store;
+}
+
+} // namespace gals

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Micro-operation model: instruction classes, register identifiers and
+ * static per-class properties (execution latency, issue queue binding).
+ *
+ * The simulator executes a synthetic instruction stream, so an
+ * instruction is fully described by its class, register operands,
+ * control-flow behaviour and memory address; there is no binary
+ * encoding to decode.
+ */
+
+#ifndef ISA_INST_HH
+#define ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gals
+{
+
+/** Operation classes, mirroring SimpleScalar's functional unit classes. */
+enum class InstClass : std::uint8_t
+{
+    intAlu,       ///< add/sub/logic/compare/shift
+    intMult,      ///< integer multiply
+    intDiv,       ///< integer divide
+    fpAlu,        ///< fp add/sub/convert/compare
+    fpMult,       ///< fp multiply
+    fpDiv,        ///< fp divide / sqrt
+    load,         ///< memory read
+    store,        ///< memory write
+    condBranch,   ///< conditional branch
+    uncondBranch, ///< jump
+    call,         ///< call (pushes return-address stack)
+    ret,          ///< return (pops return-address stack)
+    numClasses
+};
+
+constexpr unsigned numInstClasses =
+    static_cast<unsigned>(InstClass::numClasses);
+
+/** Issue queues of the machine (paper Table 3: int 20 / fp 16 / mem 16). */
+enum class IssueQueueId : std::uint8_t
+{
+    intQueue,
+    fpQueue,
+    memQueue,
+    numQueues
+};
+
+constexpr unsigned numIssueQueues =
+    static_cast<unsigned>(IssueQueueId::numQueues);
+
+/** Architectural register identifier; [0,32) int, [32,64) fp. */
+using RegId = std::int16_t;
+
+constexpr RegId invalidReg = -1;
+constexpr unsigned numArchIntRegs = 32;
+constexpr unsigned numArchFpRegs = 32;
+constexpr unsigned numArchRegs = numArchIntRegs + numArchFpRegs;
+
+/** True for fp architectural registers. */
+constexpr bool
+isFpReg(RegId r)
+{
+    return r >= static_cast<RegId>(numArchIntRegs);
+}
+
+/** Physical register identifier (separate int / fp spaces). */
+using PhysRegId = std::int16_t;
+constexpr PhysRegId invalidPhysReg = -1;
+
+/** Human-readable mnemonic for an instruction class. */
+const char *instClassName(InstClass cls);
+
+/** Execution latency in cycles of the owning domain. */
+unsigned instLatency(InstClass cls);
+
+/** Whether the functional unit for this class is pipelined. */
+bool instPipelined(InstClass cls);
+
+/** The issue queue this class dispatches to. */
+IssueQueueId instQueue(InstClass cls);
+
+/** Classification helpers. */
+bool isBranchClass(InstClass cls);
+bool isMemClass(InstClass cls);
+bool isFpClass(InstClass cls);
+
+/** Whether instructions of this class write a destination register. */
+bool writesDest(InstClass cls);
+
+} // namespace gals
+
+#endif // ISA_INST_HH

@@ -1,0 +1,85 @@
+#include "power/array_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+double
+arrayAccessCapFf(const ArrayGeometry &g, const TechParams &t)
+{
+    gals_assert(g.rows > 0 && g.colsBits > 0, "empty array geometry");
+
+    const double ports = g.readPorts + g.writePorts;
+    const double port_factor = 1.0 + t.cellPortGrowth * (ports - 1.0);
+    const double cell_w = t.cellWidthUm * port_factor;
+    const double cell_h = t.cellHeightUm * port_factor;
+
+    // Row decoder: roughly log2(rows) stages of predecode driving the
+    // wordline driver; modelled as a small multiple of gate cap.
+    const double dec_cap =
+        std::log2(static_cast<double>(g.rows) + 1.0) * 24.0 * t.cGateFfUm;
+
+    // Wordline: one pass-gate pair per column bit plus the wire.
+    const double wl_cap =
+        static_cast<double>(g.colsBits) *
+        (2.0 * t.cGateFfUm * 0.6 + cell_w * t.cWireFfUm);
+
+    // Bitlines: every column swings; per column, one diffusion cap per
+    // row plus the wire. Reads use a reduced (sense-amp limited)
+    // swing, modelled as a 0.5 factor.
+    const double bl_per_col =
+        static_cast<double>(g.rows) *
+        (t.cDiffFfUm * 0.8 + cell_h * t.cWireFfUm);
+    const double bl_cap =
+        static_cast<double>(g.colsBits) * bl_per_col * 0.5;
+
+    // Sense amps and output drivers, per column bit.
+    const double sense_cap = static_cast<double>(g.colsBits) * 6.0;
+
+    return dec_cap + wl_cap + bl_cap + sense_cap;
+}
+
+double
+arrayAccessEnergyNj(const ArrayGeometry &g, const TechParams &t)
+{
+    const double cap_ff = arrayAccessCapFf(g, t) * t.arrayEnergyScale;
+    const double v = t.vddNominal;
+    // E = C * V^2; fF * V^2 = fJ; convert to nJ.
+    return cap_ff * v * v * 1e-6;
+}
+
+double
+cacheAccessEnergyNj(std::uint64_t sizeBytes, unsigned sets, unsigned ways,
+                    unsigned lineBytes, const TechParams &t)
+{
+    gals_assert(sets > 0 && ways > 0 && lineBytes > 0, "bad cache geom");
+
+    // Large caches are sub-banked (CACTI style): an access activates
+    // one subarray of at most 128 rows x 512 columns, plus H-tree
+    // routing whose cost grows with the bank count.
+    constexpr std::uint64_t bank_rows = 128;
+    constexpr std::uint64_t bank_cols = 512;
+    const std::uint64_t total_bits = sizeBytes * 8;
+    const std::uint64_t banks =
+        std::max<std::uint64_t>(1, total_bits / (bank_rows * bank_cols));
+
+    ArrayGeometry data;
+    data.rows = std::min<std::uint64_t>(sets, bank_rows);
+    data.colsBits = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(ways) * lineBytes * 8, bank_cols);
+    ArrayGeometry tags;
+    tags.rows = std::min<std::uint64_t>(sets, bank_rows);
+    tags.colsBits = static_cast<std::uint64_t>(ways) * 26; // tag+state
+
+    const double routing_nj =
+        0.25 * std::sqrt(static_cast<double>(banks)) *
+        t.energyScale(t.vddNominal);
+
+    return arrayAccessEnergyNj(data, t) + arrayAccessEnergyNj(tags, t) +
+           routing_nj;
+}
+
+} // namespace gals

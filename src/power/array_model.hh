@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Analytical SRAM array energy model (CACTI/Wattch style).
+ *
+ * Energy per access is computed from decoder, wordline and bitline
+ * switched capacitance for an array of R rows x C columns with P
+ * ports. Used for caches, register files, rename tables, the ROB and
+ * predictor tables.
+ */
+
+#ifndef POWER_ARRAY_MODEL_HH
+#define POWER_ARRAY_MODEL_HH
+
+#include <cstdint>
+
+#include "power/tech_params.hh"
+
+namespace gals
+{
+
+/** Geometry of an SRAM array. */
+struct ArrayGeometry
+{
+    std::uint64_t rows = 0;
+    std::uint64_t colsBits = 0;  ///< bits read per row (all columns)
+    unsigned readPorts = 1;
+    unsigned writePorts = 1;
+};
+
+/**
+ * Switched capacitance of one access to the array, in femtofarads.
+ * One access activates one wordline and swings every bitline pair.
+ */
+double arrayAccessCapFf(const ArrayGeometry &g, const TechParams &t);
+
+/**
+ * Energy of one access in nanojoules at the nominal supply.
+ */
+double arrayAccessEnergyNj(const ArrayGeometry &g, const TechParams &t);
+
+/**
+ * Convenience for cache-like structures: @p sizeBytes data +
+ * @p tagBits per line of tag, organized as @p sets rows.
+ */
+double cacheAccessEnergyNj(std::uint64_t sizeBytes, unsigned sets,
+                           unsigned ways, unsigned lineBytes,
+                           const TechParams &t);
+
+} // namespace gals
+
+#endif // POWER_ARRAY_MODEL_HH

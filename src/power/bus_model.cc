@@ -1,0 +1,17 @@
+#include "power/bus_model.hh"
+
+namespace gals
+{
+
+double
+busTransferEnergyNj(unsigned bits, double lengthMm, const TechParams &t)
+{
+    // Wire cap plus ~40% repeater overhead; half the bits toggle.
+    const double wire_ff =
+        static_cast<double>(bits) * lengthMm * 1000.0 * t.cWireFfUm;
+    const double total_ff = wire_ff * 1.4 * 0.5;
+    const double v = t.vddNominal;
+    return total_ff * v * v * 1e-6;
+}
+
+} // namespace gals

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Result / operand bus energy: driving @p bits across @p lengthMm of
+ * on-die wire with repeaters.
+ */
+
+#ifndef POWER_BUS_MODEL_HH
+#define POWER_BUS_MODEL_HH
+
+#include "power/tech_params.hh"
+
+namespace gals
+{
+
+/** Energy of one transfer of @p bits over @p lengthMm (nJ). */
+double busTransferEnergyNj(unsigned bits, double lengthMm,
+                           const TechParams &t);
+
+} // namespace gals
+
+#endif // POWER_BUS_MODEL_HH

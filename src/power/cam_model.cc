@@ -1,0 +1,47 @@
+#include "power/cam_model.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+double
+camSearchEnergyNj(unsigned entries, unsigned tagBits, const TechParams &t)
+{
+    gals_assert(entries > 0 && tagBits > 0, "bad CAM geometry");
+    // Tag lines: each bit line runs the height of the array and drives
+    // two compare transistors per entry.
+    const double tagline_cap =
+        static_cast<double>(tagBits) *
+        (static_cast<double>(entries) *
+             (2.0 * t.cGateFfUm * 0.5 + t.cellHeightUm * t.cWireFfUm) +
+         30.0);
+    // Matchlines: one per entry, discharged on mismatch (assume most
+    // mismatch), spanning tagBits cells.
+    const double matchline_cap =
+        static_cast<double>(entries) *
+        (static_cast<double>(tagBits) *
+             (t.cDiffFfUm + t.cellWidthUm * t.cWireFfUm) +
+         20.0);
+    const double v = t.vddNominal;
+    return (tagline_cap + matchline_cap) * t.camEnergyScale * v * v *
+           1e-6;
+}
+
+double
+camWriteEnergyNj(unsigned entries, unsigned payloadBits,
+                 const TechParams &t)
+{
+    // Writing one entry behaves like a small array write.
+    const double wl_cap = static_cast<double>(payloadBits) *
+                          (2.0 * t.cGateFfUm * 0.6 +
+                           t.cellWidthUm * t.cWireFfUm);
+    const double bl_cap = static_cast<double>(payloadBits) *
+                          static_cast<double>(entries) *
+                          (t.cDiffFfUm * 0.8 +
+                           t.cellHeightUm * t.cWireFfUm) * 0.5;
+    const double v = t.vddNominal;
+    return (wl_cap + bl_cap) * t.arrayEnergyScale * v * v * 1e-6;
+}
+
+} // namespace gals

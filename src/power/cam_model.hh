@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CAM (content-addressable) energy model for issue-queue wakeup and
+ * LSQ address matching: a search drives the tag lines across every
+ * entry and precharges/discharges one matchline per entry.
+ */
+
+#ifndef POWER_CAM_MODEL_HH
+#define POWER_CAM_MODEL_HH
+
+#include "power/tech_params.hh"
+
+namespace gals
+{
+
+/**
+ * Energy of one associative search over @p entries entries of
+ * @p tagBits bits, in nanojoules at nominal supply.
+ */
+double camSearchEnergyNj(unsigned entries, unsigned tagBits,
+                         const TechParams &t);
+
+/**
+ * Energy of writing one entry's payload of @p payloadBits bits.
+ */
+double camWriteEnergyNj(unsigned entries, unsigned payloadBits,
+                        const TechParams &t);
+
+} // namespace gals
+
+#endif // POWER_CAM_MODEL_HH

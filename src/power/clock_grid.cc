@@ -1,0 +1,34 @@
+#include "power/clock_grid.hh"
+
+namespace gals
+{
+
+double
+clockGridEnergyPerCycleNj(const ClockGridSpec &spec, double vdd,
+                          const TechParams &t)
+{
+    const double cap_nf =
+        spec.gridCapNf + spec.latchCount * t.cLatchFf * 1e-6;
+    // Full swing up and down each cycle: E = C * V^2.
+    return cap_nf * vdd * vdd;
+}
+
+const ClockHierarchySpec &
+defaultClockHierarchy()
+{
+    // The 21264's full clock network dissipated a large fraction of
+    // chip power; its global grid alone is several nF. The local
+    // (major) grids divide by region area; latch counts follow the
+    // relative amount of sequential state in each region.
+    static const ClockHierarchySpec spec = {
+        /* global */   {0.88, 16000.0},
+        /* fetch */    {0.45, 18000.0},
+        /* decode */   {0.50, 26000.0},
+        /* intCore */  {0.65, 30000.0},
+        /* fpCore */   {0.50, 22000.0},
+        /* memCore */  {0.75, 30000.0},
+    };
+    return spec;
+}
+
+} // namespace gals

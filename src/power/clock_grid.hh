@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Clock distribution network energy (paper section 4.3).
+ *
+ * The base processor charges a hierarchical network resembling the
+ * Alpha 21264: a global grid spanning the die plus five major (local)
+ * grids, one per region. The GALS processor keeps the five local
+ * grids, clocked by their own domains, and eliminates the global grid
+ * entirely. Grid capacitances are anchored to the published 21264
+ * numbers (a global clock network of several nanofarads driving a
+ * 300+ mm^2 die); each local grid's share follows its region's area
+ * and latch count.
+ *
+ * The clock switches rail-to-rail twice per cycle, so per-cycle energy
+ * is C * V^2.
+ */
+
+#ifndef POWER_CLOCK_GRID_HH
+#define POWER_CLOCK_GRID_HH
+
+#include "power/tech_params.hh"
+
+namespace gals
+{
+
+/** One clock grid (global or local). */
+struct ClockGridSpec
+{
+    double gridCapNf = 0.0;    ///< wire + buffer capacitance (nF)
+    double latchCount = 0.0;   ///< clocked latches hanging off the grid
+};
+
+/** Per-cycle energy of the grid at supply @p vdd, in nJ. */
+double clockGridEnergyPerCycleNj(const ClockGridSpec &spec, double vdd,
+                                 const TechParams &t);
+
+/** The 21264-like hierarchy used by the experiments. */
+struct ClockHierarchySpec
+{
+    ClockGridSpec global;   ///< global grid (base processor only)
+    ClockGridSpec fetch;    ///< domain 1 major grid
+    ClockGridSpec decode;   ///< domain 2 major grid
+    ClockGridSpec intCore;  ///< domain 3 major grid
+    ClockGridSpec fpCore;   ///< domain 4 major grid
+    ClockGridSpec memCore;  ///< domain 5 major grid
+};
+
+/** Default hierarchy anchored to published 21264 clock numbers. */
+const ClockHierarchySpec &defaultClockHierarchy();
+
+} // namespace gals
+
+#endif // POWER_CLOCK_GRID_HH

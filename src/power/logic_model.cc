@@ -1,0 +1,48 @@
+#include "power/logic_model.hh"
+
+namespace gals
+{
+
+double
+fuOpEnergyNj(InstClass cls, const TechParams &t)
+{
+    // Per-operation energies calibrated to Wattch-class published
+    // numbers for a 0.13 um, ~1.5 V part: a 64-bit integer ALU
+    // operation switches a few hundred pF-equivalent including operand
+    // latches, bypass muxing and control (~0.45 nJ); multiplies and
+    // iterative divides cost a small multiple of that.
+    const double scale = t.energyScale(t.vddNominal); // 1.0 at nominal
+    const double add_nj = 0.45 * scale;
+
+    switch (cls) {
+      case InstClass::intAlu:
+      case InstClass::condBranch:
+      case InstClass::uncondBranch:
+      case InstClass::call:
+      case InstClass::ret:
+        return add_nj;
+      case InstClass::intMult:
+        return 3.0 * add_nj;
+      case InstClass::intDiv:
+        return 6.0 * add_nj;
+      case InstClass::fpAlu:
+        return 2.2 * add_nj;
+      case InstClass::fpMult:
+        return 3.8 * add_nj;
+      case InstClass::fpDiv:
+        return 7.5 * add_nj;
+      case InstClass::load:
+      case InstClass::store:
+        return 0.8 * add_nj; // address generation
+      default:
+        return add_nj;
+    }
+}
+
+double
+decodeEnergyNj(const TechParams &t)
+{
+    return 0.30 * t.energyScale(t.vddNominal);
+}
+
+} // namespace gals

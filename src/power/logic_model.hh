@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Random-logic energy constants: functional units and decode logic.
+ *
+ * Functional-unit energies are lumped per-operation constants at the
+ * Wattch level of abstraction, scaled to 0.13 um; an FP multiply is a
+ * few times an integer add, divides are iterative (energy charged once
+ * per operation, as Wattch does).
+ */
+
+#ifndef POWER_LOGIC_MODEL_HH
+#define POWER_LOGIC_MODEL_HH
+
+#include "isa/inst.hh"
+#include "power/tech_params.hh"
+
+namespace gals
+{
+
+/** Energy of executing one operation of class @p cls (nJ, nominal V). */
+double fuOpEnergyNj(InstClass cls, const TechParams &t);
+
+/** Energy of decoding one instruction (nJ, nominal V). */
+double decodeEnergyNj(const TechParams &t);
+
+} // namespace gals
+
+#endif // POWER_LOGIC_MODEL_HH

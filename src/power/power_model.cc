@@ -1,0 +1,211 @@
+#include "power/power_model.hh"
+
+#include "cpu/core_config.hh"
+#include "power/array_model.hh"
+#include "power/bus_model.hh"
+#include "power/cam_model.hh"
+#include "power/logic_model.hh"
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+const char *
+unitName(Unit u)
+{
+    switch (u) {
+      case Unit::globalClock:   return "global_clock";
+      case Unit::fetchClock:    return "fetch_clock";
+      case Unit::decodeClock:   return "decode_clock";
+      case Unit::intClock:      return "int_clock";
+      case Unit::fpClock:       return "fp_clock";
+      case Unit::memClock:      return "mem_clock";
+      case Unit::icache:        return "icache";
+      case Unit::bpred:         return "branch_pred";
+      case Unit::decodeLogic:   return "decode_logic";
+      case Unit::renameTable:   return "rename_table";
+      case Unit::rob:           return "rob";
+      case Unit::regfileInt:    return "regfile_int";
+      case Unit::regfileFp:     return "regfile_fp";
+      case Unit::intIssueQueue: return "int_issue_q";
+      case Unit::fpIssueQueue:  return "fp_issue_q";
+      case Unit::memIssueQueue: return "mem_issue_q";
+      case Unit::lsq:           return "lsq";
+      case Unit::intAlu:        return "int_alus";
+      case Unit::fpAlu:         return "fp_alus";
+      case Unit::dcache:        return "dcache";
+      case Unit::l2cache:       return "l2_cache";
+      case Unit::resultBus:     return "result_bus";
+      case Unit::fifo:          return "async_fifos";
+      default:
+        gals_panic("bad unit");
+    }
+}
+
+DomainId
+unitDomain(Unit u)
+{
+    switch (u) {
+      case Unit::globalClock:   return DomainId::decode; // reference
+      case Unit::fetchClock:    return DomainId::fetch;
+      case Unit::decodeClock:   return DomainId::decode;
+      case Unit::intClock:      return DomainId::intd;
+      case Unit::fpClock:       return DomainId::fpd;
+      case Unit::memClock:      return DomainId::memd;
+      case Unit::icache:        return DomainId::fetch;
+      case Unit::bpred:         return DomainId::fetch;
+      case Unit::decodeLogic:   return DomainId::decode;
+      case Unit::renameTable:   return DomainId::decode;
+      case Unit::rob:           return DomainId::decode;
+      case Unit::regfileInt:    return DomainId::intd;
+      case Unit::regfileFp:     return DomainId::fpd;
+      case Unit::intIssueQueue: return DomainId::intd;
+      case Unit::fpIssueQueue:  return DomainId::fpd;
+      case Unit::memIssueQueue: return DomainId::memd;
+      case Unit::lsq:           return DomainId::memd;
+      case Unit::intAlu:        return DomainId::intd;
+      case Unit::fpAlu:         return DomainId::fpd;
+      case Unit::dcache:        return DomainId::memd;
+      case Unit::l2cache:       return DomainId::memd;
+      case Unit::resultBus:     return DomainId::intd;
+      case Unit::fifo:          return DomainId::decode;
+      default:
+        gals_panic("bad unit");
+    }
+}
+
+bool
+isClockUnit(Unit u)
+{
+    switch (u) {
+      case Unit::globalClock:
+      case Unit::fetchClock:
+      case Unit::decodeClock:
+      case Unit::intClock:
+      case Unit::fpClock:
+      case Unit::memClock:
+        return true;
+      default:
+        return false;
+    }
+}
+
+PowerModel::PowerModel(const CoreConfig &core, const TechParams &tech,
+                       const ClockHierarchySpec &clocks)
+    : tech_(tech)
+{
+    auto set = [this](Unit u, double nj) {
+        energyNj_[static_cast<unsigned>(u)] = nj;
+    };
+    const double vn = tech.vddNominal;
+
+    // ----- clock grids (per-cycle energies at nominal supply) --------
+    set(Unit::globalClock,
+        clockGridEnergyPerCycleNj(clocks.global, vn, tech));
+    set(Unit::fetchClock,
+        clockGridEnergyPerCycleNj(clocks.fetch, vn, tech));
+    set(Unit::decodeClock,
+        clockGridEnergyPerCycleNj(clocks.decode, vn, tech));
+    set(Unit::intClock,
+        clockGridEnergyPerCycleNj(clocks.intCore, vn, tech));
+    set(Unit::fpClock,
+        clockGridEnergyPerCycleNj(clocks.fpCore, vn, tech));
+    set(Unit::memClock,
+        clockGridEnergyPerCycleNj(clocks.memCore, vn, tech));
+
+    // ----- caches -----------------------------------------------------
+    const auto &hc = core.caches;
+    const unsigned il1_sets = static_cast<unsigned>(
+        hc.il1Size / hc.il1Ways / hc.lineBytes);
+    const unsigned dl1_sets = static_cast<unsigned>(
+        hc.dl1Size / hc.dl1Ways / hc.lineBytes);
+    const unsigned l2_sets = static_cast<unsigned>(
+        hc.l2Size / hc.l2Ways / hc.lineBytes);
+    set(Unit::icache, cacheAccessEnergyNj(hc.il1Size, il1_sets,
+                                          hc.il1Ways, hc.lineBytes,
+                                          tech));
+    set(Unit::dcache, cacheAccessEnergyNj(hc.dl1Size, dl1_sets,
+                                          hc.dl1Ways, hc.lineBytes,
+                                          tech));
+    set(Unit::l2cache, cacheAccessEnergyNj(hc.l2Size, l2_sets, hc.l2Ways,
+                                           hc.lineBytes, tech));
+
+    // ----- branch prediction ------------------------------------------
+    {
+        ArrayGeometry dir;
+        dir.rows = core.bpred.gshareEntries / 8;
+        dir.colsBits = 16; // 8 counters per row
+        ArrayGeometry btb;
+        btb.rows = core.bpred.btbSets;
+        btb.colsBits = core.bpred.btbWays * 64;
+        set(Unit::bpred, arrayAccessEnergyNj(dir, tech) +
+                             arrayAccessEnergyNj(btb, tech));
+    }
+
+    // ----- decode / rename / rob --------------------------------------
+    set(Unit::decodeLogic, decodeEnergyNj(tech));
+    {
+        // RAT: numArchRegs entries of ~7 bits, highly multiported.
+        ArrayGeometry rat;
+        rat.rows = numArchRegs;
+        rat.colsBits = 8;
+        rat.readPorts = 8;
+        rat.writePorts = 4;
+        set(Unit::renameTable, arrayAccessEnergyNj(rat, tech));
+    }
+    {
+        ArrayGeometry rob;
+        rob.rows = core.robSize;
+        rob.colsBits = 96; // pc, status, regs
+        rob.readPorts = 4;
+        rob.writePorts = 4;
+        set(Unit::rob, arrayAccessEnergyNj(rob, tech));
+    }
+
+    // ----- register files ---------------------------------------------
+    {
+        ArrayGeometry rf;
+        rf.rows = core.numIntPhysRegs;
+        rf.colsBits = 64;
+        rf.readPorts = 8;
+        rf.writePorts = 4;
+        set(Unit::regfileInt, arrayAccessEnergyNj(rf, tech));
+        rf.rows = core.numFpPhysRegs;
+        set(Unit::regfileFp, arrayAccessEnergyNj(rf, tech));
+    }
+
+    // ----- issue queues: CAM wakeup + payload RAM ----------------------
+    auto iq_energy = [&tech](unsigned entries) {
+        ArrayGeometry payload;
+        payload.rows = entries;
+        payload.colsBits = 80;
+        payload.readPorts = 4;
+        payload.writePorts = 4;
+        return camSearchEnergyNj(entries, 8, tech) +
+               0.5 * arrayAccessEnergyNj(payload, tech);
+    };
+    set(Unit::intIssueQueue, iq_energy(core.intQueueSize));
+    set(Unit::fpIssueQueue, iq_energy(core.fpQueueSize));
+    set(Unit::memIssueQueue, iq_energy(core.memQueueSize));
+    set(Unit::lsq, camSearchEnergyNj(core.lsqSize, 32, tech));
+
+    // ----- functional units (representative per-op energies) ----------
+    set(Unit::intAlu, fuOpEnergyNj(InstClass::intAlu, tech));
+    set(Unit::fpAlu, fuOpEnergyNj(InstClass::fpMult, tech));
+
+    // ----- result bus ---------------------------------------------------
+    set(Unit::resultBus, busTransferEnergyNj(72, 6.0, tech));
+
+    // ----- asynchronous FIFO push/pop ----------------------------------
+    {
+        // A FIFO slot write/read behaves like a small 8-entry array of
+        // ~80 payload bits plus synchronizer flops.
+        ArrayGeometry f;
+        f.rows = 8;
+        f.colsBits = 80;
+        set(Unit::fifo, arrayAccessEnergyNj(f, tech) +
+                            6.0 * tech.cLatchFf * vn * vn * 1e-6);
+    }
+}
+
+} // namespace gals

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The per-unit energy table: maps every architectural macro block of
+ * the processor (the "various macro blocks" of paper Figure 10) to an
+ * energy per access computed from the analytical models, plus the
+ * clock-grid per-cycle energies.
+ */
+
+#ifndef POWER_POWER_MODEL_HH
+#define POWER_POWER_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/domain.hh"
+#include "power/clock_grid.hh"
+#include "power/tech_params.hh"
+
+namespace gals
+{
+
+struct CoreConfig; // cpu/core_config.hh
+
+/**
+ * Macro blocks tracked by the power model. The first six are clock
+ * grids (charged per cycle); the rest are charged per access with a
+ * 10% idle fraction (conditional clocking, paper section 4.3).
+ */
+enum class Unit : std::uint8_t
+{
+    globalClock = 0, ///< global grid: base processor only
+    fetchClock,
+    decodeClock,
+    intClock,
+    fpClock,
+    memClock,
+
+    icache,
+    bpred,        ///< direction tables + BTB + RAS
+    decodeLogic,
+    renameTable,
+    rob,
+    regfileInt,
+    regfileFp,
+    intIssueQueue,
+    fpIssueQueue,
+    memIssueQueue,
+    lsq,
+    intAlu,
+    fpAlu,
+    dcache,
+    l2cache,
+    resultBus,
+    fifo,         ///< inter-domain FIFOs: GALS processor only
+    numUnits
+};
+
+constexpr unsigned numUnits = static_cast<unsigned>(Unit::numUnits);
+
+/** Stable display name for a unit (used by Figure 10 output). */
+const char *unitName(Unit u);
+
+/** The clock domain each unit's activity belongs to. */
+DomainId unitDomain(Unit u);
+
+/** True for the six clock-grid units. */
+bool isClockUnit(Unit u);
+
+/**
+ * Energy table for a specific core configuration: per-access energies
+ * for every block, per-cycle energies for every clock grid, all in nJ
+ * at nominal supply.
+ */
+class PowerModel
+{
+  public:
+    PowerModel(const CoreConfig &core, const TechParams &tech,
+               const ClockHierarchySpec &clocks);
+
+    /** Per-access energy (per-cycle for clock units), nJ, nominal V. */
+    double accessEnergyNj(Unit u) const
+    {
+        return energyNj_[static_cast<unsigned>(u)];
+    }
+
+    const TechParams &tech() const { return tech_; }
+
+  private:
+    TechParams tech_;
+    std::array<double, numUnits> energyNj_{};
+};
+
+} // namespace gals
+
+#endif // POWER_POWER_MODEL_HH

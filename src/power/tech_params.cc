@@ -1,0 +1,13 @@
+#include "power/tech_params.hh"
+
+namespace gals
+{
+
+const TechParams &
+defaultTech()
+{
+    static const TechParams tech;
+    return tech;
+}
+
+} // namespace gals

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Technology parameters for the power models.
+ *
+ * The paper's power experiments assume contemporary (2002) technology:
+ * 0.13 um devices, for which it uses alpha = 1.6 in the delay/voltage
+ * relation D ~ V / (V - Vt)^alpha (equation 1, after Chen & Hu). The
+ * capacitance constants below are of the magnitude used by
+ * Wattch/CACTI-class models scaled to 0.13 um; absolute watts are
+ * calibration-grade, but relative block-to-block numbers — which are
+ * all the paper's figures use — follow structure geometry.
+ */
+
+#ifndef POWER_TECH_PARAMS_HH
+#define POWER_TECH_PARAMS_HH
+
+namespace gals
+{
+
+/** Process / circuit constants used by all power models. */
+struct TechParams
+{
+    double featureUm = 0.13;   ///< drawn feature size
+    double vddNominal = 1.5;   ///< nominal supply (V)
+    double vt = 0.3;           ///< threshold voltage (V)
+    double alpha = 1.6;        ///< velocity-saturation exponent (eq. 1)
+
+    /** @name Capacitance constants */
+    /// @{
+    double cGateFfUm = 1.7;    ///< gate cap per um of transistor width
+    double cDiffFfUm = 1.0;    ///< drain/source diffusion cap per um
+    double cWireFfUm = 0.25;   ///< wire cap per um of metal
+    double cLatchFf = 12.0;    ///< clock load of one latch/flop (fF)
+    /// @}
+
+    /** @name SRAM cell geometry (um), grows with port count */
+    /// @{
+    double cellWidthUm = 1.7;
+    double cellHeightUm = 1.7;
+    double cellPortGrowth = 0.6; ///< extra size per additional port
+    /// @}
+
+    /** @name Structure-level energy calibration
+     *
+     * The analytic models below count only first-order switched
+     * capacitance (wordlines, bitlines, taglines). Real structures add
+     * decoders, sense amplifiers, precharge, drivers, control and
+     * clock loading; these multipliers calibrate the totals to
+     * published per-access energies of the era (Wattch-class models).
+     */
+    /// @{
+    double arrayEnergyScale = 12.0;
+    double camEnergyScale = 40.0;
+    /// @}
+
+    /**
+     * Fraction of a unit's access energy burned when the unit is idle
+     * in a cycle; models imperfect clock gating plus leakage (paper
+     * section 4.3: "we modeled unused modules as consuming 10% of
+     * their full power").
+     */
+    double idleFraction = 0.10;
+
+    /** Voltage scaling factor for switching energy: (V / Vnom)^2. */
+    double
+    energyScale(double vdd) const
+    {
+        const double r = vdd / vddNominal;
+        return r * r;
+    }
+};
+
+/** The default 0.13 um technology used throughout the experiments. */
+const TechParams &defaultTech();
+
+} // namespace gals
+
+#endif // POWER_TECH_PARAMS_HH

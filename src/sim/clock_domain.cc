@@ -1,0 +1,106 @@
+#include "sim/clock_domain.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+ClockDomain::ClockDomain(EventQueue &eq, std::string name, Tick period,
+                         Tick phase)
+    : eq_(eq), name_(std::move(name)), period_(period), phase_(phase),
+      edgeEvent_([this] { edge(); }, period, name_ + ".edge",
+                 Event::clockEdgePri)
+{
+    gals_assert(period > 0, "clock domain '", name_,
+                "' needs a positive period");
+}
+
+void
+ClockDomain::addTicker(std::function<void()> fn, int priority)
+{
+    tickers_.push_back({priority, nextOrder_++, std::move(fn)});
+    tickersSorted_ = false;
+}
+
+void
+ClockDomain::start()
+{
+    gals_assert(!running_, "clock domain '", name_, "' already running");
+    running_ = true;
+    edgeEvent_.resumeRepeat();
+    Tick first = eq_.now() + phase_;
+    eq_.schedule(&edgeEvent_, first);
+}
+
+void
+ClockDomain::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    if (edgeEvent_.scheduled())
+        eq_.deschedule(&edgeEvent_);
+    edgeEvent_.cancelRepeat();
+}
+
+void
+ClockDomain::setPeriod(Tick period)
+{
+    gals_assert(period > 0, "clock domain '", name_,
+                "' needs a positive period");
+    period_ = period;
+    edgeEvent_.period(period);
+}
+
+void
+ClockDomain::setPhase(Tick phase)
+{
+    gals_assert(!running_ && !seenEdge_, "clock domain '", name_,
+                "': cannot change phase after starting");
+    phase_ = phase;
+}
+
+Tick
+ClockDomain::nextEdgeAt(Tick t) const
+{
+    // Reference edge: the next one committed to the queue if running,
+    // otherwise extrapolate from the phase.
+    Tick ref;
+    if (edgeEvent_.scheduled())
+        ref = edgeEvent_.when();
+    else if (seenEdge_)
+        ref = lastEdge_ + period_;
+    else
+        ref = phase_;
+
+    if (t <= ref)
+        return ref;
+    const Tick delta = t - ref;
+    const Tick steps = (delta + period_ - 1) / period_;
+    return ref + steps * period_;
+}
+
+void
+ClockDomain::edge()
+{
+    lastEdge_ = eq_.now();
+    seenEdge_ = true;
+    ++cycle_;
+
+    if (!tickersSorted_) {
+        std::sort(tickers_.begin(), tickers_.end(),
+                  [](const Ticker &a, const Ticker &b) {
+                      if (a.priority != b.priority)
+                          return a.priority < b.priority;
+                      return a.order < b.order;
+                  });
+        tickersSorted_ = true;
+    }
+    for (auto &t : tickers_)
+        t.fn();
+}
+
+} // namespace gals

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Clock domains for locally synchronous blocks.
+ *
+ * A ClockDomain is a periodic event source with a period, a phase
+ * offset, and an ordered list of per-edge tick callbacks. The base
+ * (fully synchronous) processor binds all pipeline regions to one
+ * domain; the GALS processor instantiates five, each with its own
+ * period and a random phase, exactly as in section 4.2 of the paper.
+ *
+ * The period may be changed at run time (the change takes effect after
+ * the current edge), which is the mechanism used for dynamic frequency
+ * scaling. Each domain also carries a supply voltage so the power model
+ * can charge energy at the right Vdd.
+ */
+
+#ifndef SIM_CLOCK_DOMAIN_HH
+#define SIM_CLOCK_DOMAIN_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace gals
+{
+
+/**
+ * One locally synchronous clock region.
+ */
+class ClockDomain
+{
+  public:
+    /**
+     * @param eq       owning event queue
+     * @param name     diagnostic name
+     * @param period   clock period in ticks (> 0)
+     * @param phase    first-edge offset in ticks (< period typically)
+     */
+    ClockDomain(EventQueue &eq, std::string name, Tick period,
+                Tick phase = 0);
+    ~ClockDomain() = default;
+
+    ClockDomain(const ClockDomain &) = delete;
+    ClockDomain &operator=(const ClockDomain &) = delete;
+
+    /**
+     * Register a callback run on every rising edge. Callbacks run in
+     * ascending @p priority, then registration order.
+     */
+    void addTicker(std::function<void()> fn, int priority = 50);
+
+    /** Begin ticking: schedules the first edge at the phase offset. */
+    void start();
+
+    /** Stop ticking after the current edge. */
+    void stop();
+
+    bool running() const { return running_; }
+
+    /** Current period in ticks. */
+    Tick period() const { return period_; }
+
+    /**
+     * Change the period; takes effect when scheduling the edge after
+     * the next one already committed to the queue (or immediately if
+     * called between edges on a stopped clock).
+     */
+    void setPeriod(Tick period);
+
+    /** Frequency in MHz implied by the current period. */
+    double frequencyMHz() const { return mhzFromPeriod(period_); }
+
+    /** Phase offset of the first edge. */
+    Tick phase() const { return phase_; }
+
+    /** Change the phase offset; only valid before start(). */
+    void setPhase(Tick phase);
+
+    /** Completed edge count (cycle counter). */
+    Cycle cycle() const { return cycle_; }
+
+    /** Time of the most recent edge; 0 before the first edge. */
+    Tick lastEdge() const { return lastEdge_; }
+
+    /**
+     * First edge occurring at or after time @p t, assuming the period
+     * stays at its current value. Used to model when a consumer clocked
+     * by this domain can first observe an asynchronous input.
+     */
+    Tick nextEdgeAt(Tick t) const;
+
+    /** First edge strictly after time @p t. */
+    Tick nextEdgeAfter(Tick t) const { return nextEdgeAt(t + 1); }
+
+    /** Supply voltage of this domain (volts). */
+    double vdd() const { return vdd_; }
+    void setVdd(double v) { vdd_ = v; }
+
+    const std::string &name() const { return name_; }
+    EventQueue &eventQueue() { return eq_; }
+
+  private:
+    void edge();
+
+    EventQueue &eq_;
+    std::string name_;
+    Tick period_;
+    Tick phase_;
+    Tick lastEdge_ = 0;
+    bool seenEdge_ = false;
+    Cycle cycle_ = 0;
+    bool running_ = false;
+    double vdd_ = 1.5;
+
+    struct Ticker
+    {
+        int priority;
+        std::uint64_t order;
+        std::function<void()> fn;
+    };
+    std::vector<Ticker> tickers_;
+    bool tickersSorted_ = true;
+    std::uint64_t nextOrder_ = 0;
+
+    PeriodicEvent edgeEvent_;
+};
+
+} // namespace gals
+
+#endif // SIM_CLOCK_DOMAIN_HH

@@ -1,0 +1,161 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+Event::Event(std::string name, int priority)
+    : name_(std::move(name)), priority_(priority)
+{
+}
+
+Event::~Event()
+{
+    if (scheduled())
+        queue_->deschedule(this);
+}
+
+CallbackEvent::CallbackEvent(std::function<void()> fn, std::string name,
+                             int priority)
+    : Event(std::move(name), priority), fn_(std::move(fn))
+{
+}
+
+void
+CallbackEvent::process()
+{
+    fn_();
+}
+
+PeriodicEvent::PeriodicEvent(std::function<void()> fn, Tick period,
+                             std::string name, int priority)
+    : Event(std::move(name), priority), fn_(std::move(fn)), period_(period)
+{
+    gals_assert(period > 0, "periodic event '", this->name(),
+                "' needs a positive period");
+}
+
+void
+PeriodicEvent::period(Tick p)
+{
+    gals_assert(p > 0, "periodic event '", name(),
+                "' needs a positive period");
+    period_ = p;
+}
+
+void
+PeriodicEvent::process()
+{
+    // Rescheduling of the next occurrence is handled by
+    // EventQueue::serviceOne after this returns, so the callback may
+    // freely change the period or cancel the repeat.
+    fn_();
+}
+
+EventQueue::EventQueue(std::string name) : name_(std::move(name)) {}
+
+EventQueue::~EventQueue()
+{
+    // Orphan any still-scheduled events so their destructors do not
+    // touch a dead queue.
+    for (Event *ev : queue_)
+        ev->queue_ = nullptr;
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    gals_assert(ev != nullptr, "null event");
+    gals_assert(!ev->scheduled(), "event '", ev->name(),
+                "' is already scheduled");
+    gals_assert(when >= now_, "event '", ev->name(),
+                "' scheduled in the past (", when, " < ", now_, ")");
+    ev->when_ = when;
+    ev->seq_ = nextSeq_++;
+    ev->queue_ = this;
+    queue_.insert(ev);
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    gals_assert(ev != nullptr, "null event");
+    gals_assert(ev->queue_ == this, "event '", ev->name(),
+                "' is not scheduled on this queue");
+    auto it = queue_.find(ev);
+    gals_assert(it != queue_.end(), "scheduled event '", ev->name(),
+                "' missing from queue");
+    queue_.erase(it);
+    ev->queue_ = nullptr;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled())
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+Tick
+EventQueue::nextEventTime() const
+{
+    if (queue_.empty())
+        return maxTick;
+    return (*queue_.begin())->when();
+}
+
+bool
+EventQueue::serviceOne()
+{
+    if (queue_.empty())
+        return false;
+
+    auto it = queue_.begin();
+    Event *ev = *it;
+    queue_.erase(it);
+
+    gals_assert(ev->when() >= now_, "event queue went backwards");
+    now_ = ev->when();
+    ev->queue_ = nullptr;
+    ++processed_;
+
+    // Periodic events reschedule themselves after their callback,
+    // unless the callback rescheduled them explicitly or cancelled the
+    // repeat.
+    auto *per = dynamic_cast<PeriodicEvent *>(ev);
+    ev->process();
+    if (per != nullptr && !per->scheduled()) {
+        // cancelRepeat() may have been invoked from within process().
+        if (per->repeatingNow())
+            schedule(per, now_ + per->period());
+    }
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t n = 0;
+    while (!queue_.empty() && nextEventTime() <= until) {
+        serviceOne();
+        ++n;
+    }
+    if (now_ < until)
+        now_ = until;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runAll()
+{
+    std::uint64_t n = 0;
+    while (serviceOne())
+        ++n;
+    return n;
+}
+
+} // namespace gals

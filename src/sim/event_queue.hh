@@ -1,0 +1,202 @@
+/**
+ * @file
+ * General-purpose event-driven simulation engine.
+ *
+ * This is the C++ analogue of the engine described in section 4.2 of
+ * the paper: an event queue ordered by (time, priority) plus a global
+ * timer. Events may be one-shot or periodic; periodic events model
+ * clocked systems by rescheduling themselves one period into the
+ * future, and any mixture of periodic and aperiodic events can be
+ * simulated together, which is what makes multi-clock-domain (GALS)
+ * simulation possible.
+ */
+
+#ifndef SIM_EVENT_QUEUE_HH
+#define SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace gals
+{
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled on an EventQueue.
+ *
+ * Subclasses implement process(). An event object is owned by its
+ * creator; the queue never deletes events. One event object can be
+ * scheduled at most once at a time.
+ */
+class Event
+{
+  public:
+    /** Default priorities; lower value executes first within a tick. */
+    enum Priority : int
+    {
+        clockEdgePri = 0,    ///< clock-domain edges
+        defaultPri = 50,     ///< ordinary events
+        statsPri = 90,       ///< end-of-interval statistics
+    };
+
+    explicit Event(std::string name = "event", int priority = defaultPri);
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked by the queue when simulated time reaches when(). */
+    virtual void process() = 0;
+
+    /** Scheduled time; valid only while scheduled() is true. */
+    Tick when() const { return when_; }
+
+    /** Tie-break priority; lower executes first at equal time. */
+    int priority() const { return priority_; }
+
+    /** True while the event sits in a queue. */
+    bool scheduled() const { return queue_ != nullptr; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class EventQueue;
+
+    std::string name_;
+    int priority_;
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0;     ///< insertion order tie-break
+    EventQueue *queue_ = nullptr;
+};
+
+/** One-shot event wrapping a std::function callback. */
+class CallbackEvent : public Event
+{
+  public:
+    explicit CallbackEvent(std::function<void()> fn,
+                           std::string name = "callback",
+                           int priority = defaultPri);
+
+    void process() override;
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * Periodic event: reschedules itself every period() ticks, exactly as
+ * the paper's engine does for clocked systems. The period may be
+ * changed from within process(); the new value applies to the next
+ * rescheduling, which models dynamic frequency scaling.
+ */
+class PeriodicEvent : public Event
+{
+  public:
+    PeriodicEvent(std::function<void()> fn, Tick period,
+                  std::string name = "periodic",
+                  int priority = clockEdgePri);
+
+    void process() override;
+
+    Tick period() const { return period_; }
+    void period(Tick p);
+
+    /** Stop after the current occurrence (deschedules the repeat). */
+    void cancelRepeat() { repeating_ = false; }
+    void resumeRepeat() { repeating_ = true; }
+
+    /** Whether the event currently wants to repeat. */
+    bool repeatingNow() const { return repeating_; }
+
+  private:
+    std::function<void()> fn_;
+    Tick period_;
+    bool repeating_ = true;
+};
+
+/**
+ * The event queue and global timer.
+ *
+ * Events at equal (time, priority) execute in insertion order, which
+ * keeps simulations deterministic.
+ */
+class EventQueue
+{
+  public:
+    explicit EventQueue(std::string name = "eventq");
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time (the global timer). */
+    Tick now() const { return now_; }
+
+    /** Schedule @p ev at absolute time @p when (>= now()). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a scheduled event. */
+    void deschedule(Event *ev);
+
+    /** Reschedule to a new time whether or not currently scheduled. */
+    void reschedule(Event *ev, Tick when);
+
+    /** True if no events are pending. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return queue_.size(); }
+
+    /** Time of the next pending event; maxTick if none. */
+    Tick nextEventTime() const;
+
+    /**
+     * Execute the single next event; returns false if the queue was
+     * empty.
+     */
+    bool serviceOne();
+
+    /**
+     * Run until simulated time would exceed @p until or the queue
+     * drains. Events scheduled exactly at @p until are executed.
+     * @return number of events processed.
+     */
+    std::uint64_t runUntil(Tick until);
+
+    /** Run until the queue drains; @return events processed. */
+    std::uint64_t runAll();
+
+    /** Total events processed since construction. */
+    std::uint64_t processedCount() const { return processed_; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Less
+    {
+        bool
+        operator()(const Event *a, const Event *b) const
+        {
+            if (a->when() != b->when())
+                return a->when() < b->when();
+            if (a->priority() != b->priority())
+                return a->priority() < b->priority();
+            return a->seq_ < b->seq_;
+        }
+    };
+
+    std::string name_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+    std::set<Event *, Less> queue_;
+};
+
+} // namespace gals
+
+#endif // SIM_EVENT_QUEUE_HH

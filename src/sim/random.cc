@@ -1,0 +1,126 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t x = seed_value;
+    for (auto &s : s_)
+        s = splitmix64(x);
+    // A state of all zeros is the one forbidden state; splitmix64
+    // cannot produce four zero outputs from any input, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+    haveSpare_ = false;
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::range(std::uint64_t lo, std::uint64_t hi)
+{
+    gals_assert(lo <= hi, "invalid range [", lo, ", ", hi, "]");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next64();
+    return lo + next64() % span;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+unsigned
+Rng::geometric(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    // Geometric on {1, 2, ...} with mean `mean`: success prob 1/mean.
+    const double p = 1.0 / mean;
+    const double u = uniform();
+    const double val = std::floor(std::log1p(-u) / std::log1p(-p)) + 1.0;
+    if (val < 1.0)
+        return 1;
+    if (val > 1e6)
+        return 1000000;
+    return static_cast<unsigned>(val);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return mean + sigma * spare_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    while (u1 <= 1e-300) // avoid log(0)
+        u1 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double z0 = mag * std::cos(2.0 * M_PI * u2);
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    haveSpare_ = true;
+    return mean + sigma * z0;
+}
+
+} // namespace gals

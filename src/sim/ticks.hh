@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Basic simulated-time definitions.
+ *
+ * The simulator counts time in integer ticks; one tick is one
+ * picosecond. A 64-bit tick counter wraps after ~213 days of simulated
+ * time at 1 ps resolution, far beyond any experiment in this repo.
+ */
+
+#ifndef SIM_TICKS_HH
+#define SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace gals
+{
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Cycle count within one clock domain. */
+using Cycle = std::uint64_t;
+
+/** One simulated picosecond. */
+constexpr Tick tickPs = 1;
+
+/** Ticks per nanosecond. */
+constexpr Tick ticksPerNs = 1000;
+
+/** A tick value larger than any schedulable time; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Convert a frequency in MHz to a clock period in ticks. */
+constexpr Tick
+periodFromMHz(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz + 0.5);
+}
+
+/** Convert a clock period in ticks to a frequency in MHz. */
+constexpr double
+mhzFromPeriod(Tick period)
+{
+    return 1e6 / static_cast<double>(period);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+tickToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-12;
+}
+
+} // namespace gals
+
+#endif // SIM_TICKS_HH

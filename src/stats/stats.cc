@@ -1,0 +1,226 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gals::stats
+{
+
+namespace
+{
+
+void
+emitLine(std::ostream &os, const std::string &name, double value,
+         const std::string &desc)
+{
+    os << std::left << std::setw(44) << name << " " << std::setw(16)
+       << std::setprecision(8) << value;
+    if (!desc.empty())
+        os << " # " << desc;
+    os << "\n";
+}
+
+} // namespace
+
+Stat::Stat(StatGroup *parent, std::string name, std::string desc)
+    : parent_(parent), name_(std::move(name)), desc_(std::move(desc))
+{
+    gals_assert(parent_ != nullptr, "stat '", name_, "' needs a group");
+    parent_->addStat(this);
+}
+
+Stat::~Stat()
+{
+    parent_->removeStat(this);
+}
+
+std::string
+Stat::fullName() const
+{
+    const std::string prefix = parent_->fullName();
+    return prefix.empty() ? name_ : prefix + "." + name_;
+}
+
+Scalar::Scalar(StatGroup *parent, std::string name, std::string desc)
+    : Stat(parent, std::move(name), std::move(desc))
+{
+}
+
+void
+Scalar::dump(std::ostream &os) const
+{
+    emitLine(os, fullName(), value_, desc_);
+}
+
+Average::Average(StatGroup *parent, std::string name, std::string desc)
+    : Stat(parent, std::move(name), std::move(desc))
+{
+}
+
+void
+Average::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void
+Average::dump(std::ostream &os) const
+{
+    emitLine(os, fullName() + "::mean", mean(), desc_);
+    emitLine(os, fullName() + "::count", static_cast<double>(count_), "");
+    emitLine(os, fullName() + "::min", min(), "");
+    emitLine(os, fullName() + "::max", max(), "");
+}
+
+void
+Average::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+Distribution::Distribution(StatGroup *parent, std::string name,
+                           std::string desc, double lo, double hi,
+                           unsigned buckets)
+    : Stat(parent, std::move(name), std::move(desc)), lo_(lo), hi_(hi),
+      width_((hi - lo) / buckets), buckets_(buckets, 0)
+{
+    gals_assert(hi > lo && buckets > 0, "bad distribution bounds for '",
+                this->name(), "'");
+}
+
+void
+Distribution::sample(double v, std::uint64_t n)
+{
+    count_ += n;
+    sum_ += v * n;
+    if (v < lo_) {
+        underflow_ += n;
+    } else if (v >= hi_) {
+        overflow_ += n;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        if (idx >= buckets_.size()) // float edge case at hi boundary
+            idx = buckets_.size() - 1;
+        buckets_[idx] += n;
+    }
+}
+
+void
+Distribution::dump(std::ostream &os) const
+{
+    emitLine(os, fullName() + "::mean", mean(), desc_);
+    emitLine(os, fullName() + "::count", static_cast<double>(count_), "");
+    emitLine(os, fullName() + "::underflow",
+             static_cast<double>(underflow_), "");
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double b_lo = lo_ + width_ * static_cast<double>(i);
+        emitLine(os,
+                 fullName() + "::" + std::to_string(b_lo),
+                 static_cast<double>(buckets_[i]), "");
+    }
+    emitLine(os, fullName() + "::overflow",
+             static_cast<double>(overflow_), "");
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = 0.0;
+}
+
+Formula::Formula(StatGroup *parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : Stat(parent, std::move(name), std::move(desc)), fn_(std::move(fn))
+{
+}
+
+void
+Formula::dump(std::ostream &os) const
+{
+    emitLine(os, fullName(), value(), desc_);
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_ != nullptr)
+        parent_->addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_ != nullptr)
+        parent_->removeChild(this);
+}
+
+void
+StatGroup::removeStat(Stat *s)
+{
+    stats_.erase(std::remove(stats_.begin(), stats_.end(), s),
+                 stats_.end());
+}
+
+void
+StatGroup::removeChild(StatGroup *g)
+{
+    children_.erase(std::remove(children_.begin(), children_.end(), g),
+                    children_.end());
+}
+
+std::string
+StatGroup::fullName() const
+{
+    if (parent_ == nullptr)
+        return name_;
+    const std::string prefix = parent_->fullName();
+    return prefix.empty() ? name_ : prefix + "." + name_;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const Stat *s : stats_)
+        s->dump(os);
+    for (const StatGroup *g : children_)
+        g->dump(os);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (Stat *s : stats_)
+        s->reset();
+    for (StatGroup *g : children_)
+        g->resetStats();
+}
+
+Stat *
+StatGroup::find(const std::string &path)
+{
+    const auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        for (Stat *s : stats_)
+            if (s->name() == path)
+                return s;
+        return nullptr;
+    }
+    const std::string head = path.substr(0, dot);
+    const std::string rest = path.substr(dot + 1);
+    for (StatGroup *g : children_)
+        if (g->name() == head)
+            return g->find(rest);
+    return nullptr;
+}
+
+} // namespace gals::stats

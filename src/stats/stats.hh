@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Lightweight statistics package, gem5-flavoured.
+ *
+ * Stats register themselves with a StatGroup at construction; groups
+ * nest to form a tree. dump() renders "name value # description" lines
+ * like gem5's stats.txt so the bench harnesses can diff runs easily.
+ */
+
+#ifndef STATS_STATS_HH
+#define STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gals::stats
+{
+
+class StatGroup;
+
+/** Base class for all statistics. */
+class Stat
+{
+  public:
+    /**
+     * @note The parent group must outlive the stat; declare the
+     *       StatGroup member before any Stat members.
+     */
+    Stat(StatGroup *parent, std::string name, std::string desc);
+    virtual ~Stat();
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Fully qualified dotted name including group path. */
+    std::string fullName() const;
+
+    /** Emit one or more "name value # desc" lines. */
+    virtual void dump(std::ostream &os) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  protected:
+    StatGroup *parent_;
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonic counter / settable scalar value. */
+class Scalar : public Stat
+{
+  public:
+    Scalar(StatGroup *parent, std::string name, std::string desc);
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Accumulates samples; reports mean, min, max and count. */
+class Average : public Stat
+{
+  public:
+    Average(StatGroup *parent, std::string name, std::string desc);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-bucket histogram over [lo, hi) with under/overflow buckets. */
+class Distribution : public Stat
+{
+  public:
+    Distribution(StatGroup *parent, std::string name, std::string desc,
+                 double lo, double hi, unsigned buckets);
+
+    void sample(double v, std::uint64_t n = 1);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+
+    void dump(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0, overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/** Value computed on demand from other stats. */
+class Formula : public Stat
+{
+  public:
+    Formula(StatGroup *parent, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn_(); }
+
+    void dump(std::ostream &os) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of statistics and child groups.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+    std::string fullName() const;
+
+    /** Recursively dump this group's stats then its children's. */
+    void dump(std::ostream &os) const;
+
+    /** Recursively reset. */
+    void resetStats();
+
+    const std::vector<Stat *> &statList() const { return stats_; }
+    const std::vector<StatGroup *> &children() const { return children_; }
+
+    /** Find a stat by dotted path relative to this group, or null. */
+    Stat *find(const std::string &path);
+
+  private:
+    friend class Stat;
+    void addStat(Stat *s) { stats_.push_back(s); }
+    void removeStat(Stat *s);
+    void addChild(StatGroup *g) { children_.push_back(g); }
+    void removeChild(StatGroup *g);
+
+    std::string name_;
+    StatGroup *parent_;
+    std::vector<Stat *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace gals::stats
+
+#endif // STATS_STATS_HH

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * The benchmark profile table: SPEC95 integer, SPEC95 floating point
+ * and MediaBench, matching the suites used in the paper (section 5).
+ *
+ * Mix fractions, branch predictabilities and locality parameters are
+ * calibrated to published characterizations of these benchmarks
+ * (SimpleScalar-era studies). The paper calls out two specifics we
+ * honour exactly: fpppp executes roughly one branch per 67
+ * instructions while typical codes run one per 5-6 (section 5.1), and
+ * ijpeg has a very low proportion of memory accesses (section 5.2);
+ * perl and gcc execute virtually no floating point.
+ */
+
+#include "workload/profile.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+namespace
+{
+
+std::vector<BenchmarkProfile>
+makeTable()
+{
+    std::vector<BenchmarkProfile> v;
+
+    auto add = [&v](BenchmarkProfile p) {
+        p.seed = 0x5eed0000ULL + v.size() * 0x9e37ULL;
+        p.validate();
+        v.push_back(std::move(p));
+    };
+
+    // -------------------------------------------------------- SPEC95 int
+    {
+        BenchmarkProfile p;
+        p.name = "compress";
+        p.suite = "spec95int";
+        p.fracCondBranch = 0.14;
+        p.fracUncondBranch = 0.015;
+        p.fracCall = 0.005;
+        p.fracLoad = 0.21;
+        p.fracStore = 0.09;
+        p.easyBranchFrac = 0.6;
+        p.easyBias = 0.995;
+        p.hardBias = 0.87;
+        p.loopBranchFrac = 0.22;
+        p.intDepDistMean = 3.2;
+        p.hotLines = 192;
+        p.warmLines = 5000;
+        p.l1Reuse = 0.945;
+        p.l2Reuse = 0.050;
+        p.codeBlocks = 160;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "gcc";
+        p.suite = "spec95int";
+        p.fracCondBranch = 0.16;
+        p.fracUncondBranch = 0.022;
+        p.fracCall = 0.011;
+        p.fracLoad = 0.24;
+        p.fracStore = 0.12;
+        p.easyBranchFrac = 0.68;
+        p.easyBias = 0.995;
+        p.hardBias = 0.88;
+        p.loopBranchFrac = 0.15;
+        p.intDepDistMean = 3.6;
+        p.hotLines = 224;
+        p.warmLines = 5500;
+        p.l1Reuse = 0.958;
+        p.l2Reuse = 0.038;
+        p.codeBlocks = 2000; // large instruction footprint
+        p.jumpLocality = 0.82;
+        p.jumpRadius = 24;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "go";
+        p.suite = "spec95int";
+        p.fracCondBranch = 0.13;
+        p.fracUncondBranch = 0.015;
+        p.fracCall = 0.008;
+        p.fracLoad = 0.24;
+        p.fracStore = 0.08;
+        p.easyBranchFrac = 0.5; // notoriously unpredictable
+        p.easyBias = 0.995;
+        p.hardBias = 0.79;
+        p.loopBranchFrac = 0.10;
+        p.intDepDistMean = 3.4;
+        p.hotLines = 224;
+        p.warmLines = 5000;
+        p.l1Reuse = 0.955;
+        p.l2Reuse = 0.040;
+        p.codeBlocks = 1200;
+        p.jumpLocality = 0.84;
+        p.jumpRadius = 24;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "ijpeg";
+        p.suite = "spec95int";
+        p.fracCondBranch = 0.066;
+        p.fracUncondBranch = 0.008;
+        p.fracCall = 0.004;
+        // Paper section 5.2: "very low proportion of memory accesses".
+        p.fracLoad = 0.125;
+        p.fracStore = 0.050;
+        p.fracIntMult = 0.040;
+        p.easyBranchFrac = 0.68; // loop-dominated, predictable
+        p.easyBias = 0.995;
+        p.loopBranchFrac = 0.27;
+        p.loopMeanTrip = 64.0;
+        p.intDepDistMean = 4.5;
+        p.hotLines = 160;
+        p.warmLines = 2500;
+        p.l1Reuse = 0.975;
+        p.l2Reuse = 0.022;
+        p.codeBlocks = 250;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "li";
+        p.suite = "spec95int";
+        p.fracCondBranch = 0.15;
+        p.fracUncondBranch = 0.03;
+        p.fracCall = 0.020; // heavy recursion
+        p.fracLoad = 0.26;
+        p.fracStore = 0.14;
+        p.easyBranchFrac = 0.66;
+        p.easyBias = 0.995;
+        p.hardBias = 0.88;
+        p.loopBranchFrac = 0.12;
+        p.intDepDistMean = 3.0;
+        p.hotLines = 192;
+        p.warmLines = 3500;
+        p.l1Reuse = 0.965;
+        p.l2Reuse = 0.032;
+        p.codeBlocks = 300;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "m88ksim";
+        p.suite = "spec95int";
+        p.fracCondBranch = 0.15;
+        p.fracUncondBranch = 0.02;
+        p.fracCall = 0.010;
+        p.fracLoad = 0.20;
+        p.fracStore = 0.07;
+        p.easyBranchFrac = 0.8; // simulator main loop: predictable
+        p.easyBias = 0.995;
+        p.hardBias = 0.88;
+        p.loopBranchFrac = 0.12;
+        p.intDepDistMean = 3.5;
+        p.hotLines = 160;
+        p.warmLines = 2500;
+        p.l1Reuse = 0.975;
+        p.l2Reuse = 0.022;
+        p.codeBlocks = 500;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        // Paper section 5.2: "virtually no floating-point instructions
+        // in this integer benchmark".
+        p.name = "perl";
+        p.suite = "spec95int";
+        p.fracCondBranch = 0.15;
+        p.fracUncondBranch = 0.025;
+        p.fracCall = 0.014;
+        p.fracLoad = 0.24;
+        p.fracStore = 0.13;
+        p.easyBranchFrac = 0.75;
+        p.easyBias = 0.995;
+        p.hardBias = 0.88;
+        p.loopBranchFrac = 0.10;
+        p.intDepDistMean = 3.2;
+        p.hotLines = 208;
+        p.warmLines = 4000;
+        p.l1Reuse = 0.962;
+        p.l2Reuse = 0.034;
+        p.codeBlocks = 900;
+        p.jumpLocality = 0.86;
+        p.jumpRadius = 24;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "vortex";
+        p.suite = "spec95int";
+        p.fracCondBranch = 0.13;
+        p.fracUncondBranch = 0.02;
+        p.fracCall = 0.012;
+        p.fracLoad = 0.27;
+        p.fracStore = 0.19;
+        p.easyBranchFrac = 0.85; // highly predictable
+        p.easyBias = 0.995;
+        p.loopBranchFrac = 0.05;
+        p.intDepDistMean = 3.8;
+        p.hotLines = 240;
+        p.warmLines = 6000;
+        p.l1Reuse = 0.950;
+        p.l2Reuse = 0.045;
+        p.codeBlocks = 1400;
+        p.jumpLocality = 0.86;
+        p.jumpRadius = 24;
+        add(p);
+    }
+
+    // --------------------------------------------------------- SPEC95 fp
+    {
+        BenchmarkProfile p;
+        // Paper section 5.1: "on an average only one in every 67
+        // instructions is a branch in this benchmark".
+        p.name = "fpppp";
+        p.suite = "spec95fp";
+        p.fracCondBranch = 0.012;
+        p.fracUncondBranch = 0.002;
+        p.fracCall = 0.0005;
+        p.fracLoad = 0.30;
+        p.fracStore = 0.12;
+        p.fracFpAlu = 0.24;
+        p.fracFpMult = 0.17;
+        p.fracFpDiv = 0.008;
+        p.easyBranchFrac = 0.78;
+        p.easyBias = 0.995;
+        p.loopBranchFrac = 0.17;
+        p.loopMeanTrip = 80.0;
+        p.intDepDistMean = 6.0; // enormous basic blocks, high ILP
+        p.fpDepDistMean = 8.0;
+        p.hotLines = 224;
+        p.warmLines = 3500;
+        p.l1Reuse = 0.965;
+        p.l2Reuse = 0.032;
+        p.codeBlocks = 100;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "applu";
+        p.suite = "spec95fp";
+        p.fracCondBranch = 0.025;
+        p.fracUncondBranch = 0.004;
+        p.fracCall = 0.001;
+        p.fracLoad = 0.28;
+        p.fracStore = 0.12;
+        p.fracFpAlu = 0.22;
+        p.fracFpMult = 0.15;
+        p.fracFpDiv = 0.012;
+        p.easyBranchFrac = 0.7;
+        p.easyBias = 0.995;
+        p.loopBranchFrac = 0.25;
+        p.loopMeanTrip = 48.0;
+        p.intDepDistMean = 5.0;
+        p.fpDepDistMean = 7.0;
+        p.hotLines = 256;
+        p.warmLines = 6500;
+        p.l1Reuse = 0.930;
+        p.l2Reuse = 0.064;
+        p.codeBlocks = 150;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "swim";
+        p.suite = "spec95fp";
+        p.fracCondBranch = 0.018;
+        p.fracUncondBranch = 0.003;
+        p.fracCall = 0.001;
+        p.fracLoad = 0.30;
+        p.fracStore = 0.14;
+        p.fracFpAlu = 0.24;
+        p.fracFpMult = 0.17;
+        p.fracFpDiv = 0.004;
+        p.easyBranchFrac = 0.65;
+        p.easyBias = 0.995;
+        p.loopBranchFrac = 0.32;
+        p.loopMeanTrip = 128.0;
+        p.intDepDistMean = 5.5;
+        p.fpDepDistMean = 6.5;
+        // Streaming array sweeps: poorer temporal locality.
+        p.hotLines = 256;
+        p.warmLines = 7000;
+        p.l1Reuse = 0.915;
+        p.l2Reuse = 0.078;
+        p.codeBlocks = 100;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "tomcatv";
+        p.suite = "spec95fp";
+        p.fracCondBranch = 0.022;
+        p.fracUncondBranch = 0.003;
+        p.fracCall = 0.001;
+        p.fracLoad = 0.29;
+        p.fracStore = 0.12;
+        p.fracFpAlu = 0.23;
+        p.fracFpMult = 0.16;
+        p.fracFpDiv = 0.010;
+        p.easyBranchFrac = 0.65;
+        p.easyBias = 0.995;
+        p.loopBranchFrac = 0.30;
+        p.loopMeanTrip = 96.0;
+        p.intDepDistMean = 5.0;
+        p.fpDepDistMean = 6.0;
+        p.hotLines = 256;
+        p.warmLines = 6800;
+        p.l1Reuse = 0.922;
+        p.l2Reuse = 0.070;
+        p.codeBlocks = 90;
+        add(p);
+    }
+
+    // -------------------------------------------------------- MediaBench
+    {
+        BenchmarkProfile p;
+        p.name = "adpcm";
+        p.suite = "mediabench";
+        p.fracCondBranch = 0.18;
+        p.fracUncondBranch = 0.01;
+        p.fracCall = 0.002;
+        p.fracLoad = 0.12;
+        p.fracStore = 0.04;
+        p.easyBranchFrac = 0.5;
+        p.easyBias = 0.995;
+        p.hardBias = 0.85;
+        p.loopBranchFrac = 0.32;
+        p.loopMeanTrip = 32.0;
+        p.intDepDistMean = 2.8; // tight serial kernel
+        p.hotLines = 48;
+        p.warmLines = 512;
+        p.l1Reuse = 0.990;
+        p.l2Reuse = 0.008;
+        p.codeBlocks = 40;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "epic";
+        p.suite = "mediabench";
+        p.fracCondBranch = 0.12;
+        p.fracUncondBranch = 0.012;
+        p.fracCall = 0.004;
+        p.fracLoad = 0.22;
+        p.fracStore = 0.08;
+        p.fracFpAlu = 0.06;
+        p.fracFpMult = 0.04;
+        p.fracIntMult = 0.02;
+        p.easyBranchFrac = 0.62;
+        p.easyBias = 0.995;
+        p.loopBranchFrac = 0.26;
+        p.loopMeanTrip = 48.0;
+        p.intDepDistMean = 3.8;
+        p.hotLines = 128;
+        p.warmLines = 3200;
+        p.l1Reuse = 0.960;
+        p.l2Reuse = 0.036;
+        p.codeBlocks = 140;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "g721";
+        p.suite = "mediabench";
+        p.fracCondBranch = 0.15;
+        p.fracUncondBranch = 0.015;
+        p.fracCall = 0.008;
+        p.fracLoad = 0.18;
+        p.fracStore = 0.06;
+        p.fracIntMult = 0.02;
+        p.easyBranchFrac = 0.6;
+        p.easyBias = 0.995;
+        p.hardBias = 0.87;
+        p.loopBranchFrac = 0.22;
+        p.loopMeanTrip = 24.0;
+        p.intDepDistMean = 3.0;
+        p.hotLines = 64;
+        p.warmLines = 768;
+        p.l1Reuse = 0.985;
+        p.l2Reuse = 0.012;
+        p.codeBlocks = 80;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "mpeg2";
+        p.suite = "mediabench";
+        p.fracCondBranch = 0.10;
+        p.fracUncondBranch = 0.012;
+        p.fracCall = 0.005;
+        p.fracLoad = 0.25;
+        p.fracStore = 0.08;
+        p.fracIntMult = 0.05;
+        p.easyBranchFrac = 0.66;
+        p.easyBias = 0.995;
+        p.loopBranchFrac = 0.26;
+        p.loopMeanTrip = 32.0;
+        p.intDepDistMean = 4.2;
+        // Frame-sized streaming: modest L1 locality.
+        p.hotLines = 256;
+        p.warmLines = 6000;
+        p.l1Reuse = 0.935;
+        p.l2Reuse = 0.058;
+        p.codeBlocks = 200;
+        add(p);
+    }
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+allBenchmarks()
+{
+    static const std::vector<BenchmarkProfile> table = makeTable();
+    return table;
+}
+
+const BenchmarkProfile &
+findBenchmark(const std::string &name)
+{
+    for (const auto &p : allBenchmarks())
+        if (p.name == name)
+            return p;
+    gals_fatal("unknown benchmark '", name, "'");
+}
+
+std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : allBenchmarks())
+        names.push_back(p.name);
+    return names;
+}
+
+std::vector<BenchmarkProfile>
+benchmarksInSuite(const std::string &suite)
+{
+    std::vector<BenchmarkProfile> out;
+    for (const auto &p : allBenchmarks())
+        if (p.suite == suite)
+            out.push_back(p);
+    return out;
+}
+
+} // namespace gals

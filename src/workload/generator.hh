@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Synthetic workload: static program construction and dynamic
+ * instruction stream generation.
+ *
+ * At construction the generator *compiles* a BenchmarkProfile into a
+ * static program: basic blocks laid out contiguously in instruction
+ * memory, each ending in exactly one branch with a fixed kind
+ * (strongly biased, weakly biased, loop back-edge, unconditional,
+ * call, return) and fixed targets. Register operands are fixed per
+ * static instruction, with producer-consumer distances drawn from the
+ * profile's geometric distributions.
+ *
+ * At run time, next() walks the control-flow graph: branch outcomes
+ * are drawn per site (biased coins, loop trip counters, a call/return
+ * stack) and memory addresses are drawn from hot / warm / cold working
+ * sets. Because branch PCs and code layout recur, the processor's real
+ * branch predictor and real caches learn the program exactly as they
+ * would a SPEC95 binary.
+ *
+ * The correct-path stream is a pure function of (profile, run seed)
+ * and the number of next() calls, so base and GALS processor runs see
+ * bit-identical instruction streams — the property every comparison in
+ * the paper's Figures 5-13 relies on.
+ */
+
+#ifndef WORKLOAD_GENERATOR_HH
+#define WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "sim/random.hh"
+#include "workload/profile.hh"
+
+namespace gals
+{
+
+/** One generated (fetched-from-oracle) instruction record. */
+struct GenInst
+{
+    InstClass cls = InstClass::intAlu;
+    std::uint64_t pc = 0;
+    unsigned numSrcs = 0;
+    RegId srcs[3] = {invalidReg, invalidReg, invalidReg};
+    RegId dest = invalidReg;
+    /** @name Branch resolution (oracle outcome) */
+    /// @{
+    bool taken = false;
+    std::uint64_t target = 0;
+    /// @}
+    /** Effective address for loads/stores. */
+    std::uint64_t memAddr = 0;
+};
+
+/**
+ * Compiles a profile into a static program and generates its dynamic
+ * instruction stream.
+ */
+class StreamGenerator
+{
+  public:
+    /** Address-space constants (bytes). */
+    static constexpr std::uint64_t codeBase = 0x00400000ULL;
+    static constexpr std::uint64_t dataBase = 0x40000000ULL;
+    static constexpr unsigned lineBytes = 32;
+    static constexpr unsigned maxBlockOps = 256;
+
+    StreamGenerator(const BenchmarkProfile &profile,
+                    std::uint64_t run_seed = 0);
+
+    /** Generate and return the next correct-path instruction. */
+    const GenInst &next();
+
+    /**
+     * Fetch the static instruction at @p pc for wrong-path execution:
+     * the mispredicted path runs through *real program code* (as it
+     * does on real hardware), so it warms and pollutes the caches and
+     * consumes fetch bandwidth realistically. Memory operands draw
+     * junk addresses; branch outcomes are not resolved (the elder
+     * mispredict always redirects first).
+     */
+    GenInst wrongPath(std::uint64_t pc);
+
+    /** Map an arbitrary pc into the program (wraps past the end). */
+    std::uint64_t wrapPc(std::uint64_t pc) const;
+
+    /** Number of correct-path instructions generated so far. */
+    std::uint64_t generated() const { return generated_; }
+
+    const BenchmarkProfile &profile() const { return profile_; }
+
+    /** First instruction address of the program. */
+    std::uint64_t entryPc() const { return codeBase; }
+
+    /** @name Static program introspection (tests, tools) */
+    /// @{
+    unsigned numBlocks() const
+    {
+        return static_cast<unsigned>(blocks_.size());
+    }
+    std::uint64_t blockStartPc(unsigned block) const;
+    unsigned blockLength(unsigned block) const;
+    std::uint64_t staticProgramBytes() const;
+    /// @}
+
+  private:
+    /** Branch kinds of a block-terminating branch site. */
+    enum class SiteKind : std::uint8_t
+    {
+        easy,   ///< strongly biased conditional
+        hard,   ///< weakly biased conditional
+        loop,   ///< loop back-edge (taken tripCount times, then exits)
+        jump,   ///< unconditional
+        call,
+        ret,
+    };
+
+    /** One static instruction. */
+    struct StaticOp
+    {
+        InstClass cls = InstClass::intAlu;
+        std::uint8_t numSrcs = 0;
+        RegId srcs[3] = {invalidReg, invalidReg, invalidReg};
+        RegId dest = invalidReg;
+    };
+
+    /** One basic block: ops (last one is the branch) + site behaviour. */
+    struct Block
+    {
+        std::uint64_t startPc = 0;
+        std::vector<StaticOp> ops;
+        SiteKind kind = SiteKind::jump;
+        double takenProb = 1.0;   ///< easy / hard sites
+        unsigned tripCount = 0;   ///< loop sites
+        unsigned tripsLeft = 0;   ///< dynamic loop counter
+        std::uint32_t targetBlock = 0; ///< taken target (not ret)
+    };
+
+    void buildProgram();
+    InstClass drawClass(Rng &rng, bool allow_branch);
+    void fillStaticSources(StaticOp &op, Rng &rng);
+    RegId drawIntSource(Rng &rng);
+    RegId drawFpSource(Rng &rng);
+    void recordStaticDest(const StaticOp &op);
+    std::uint32_t drawTargetBlock(Rng &rng, std::uint32_t from);
+    std::uint64_t drawMemAddr();
+    std::uint64_t wrongPathMemAddr();
+
+    const BenchmarkProfile profile_;
+    Rng dynRng_; ///< dynamic outcomes (branches, addresses)
+    Rng wpRng_;  ///< wrong-path junk
+
+    /** @name Static program */
+    /// @{
+    std::vector<Block> blocks_;
+    std::vector<std::uint64_t> blockStarts_; ///< sorted, for pc lookup
+    std::uint64_t programBytes_ = 0;
+    std::vector<std::uint32_t> funcEntries_;
+    /// @}
+
+    /** @name Static-generation register dataflow state */
+    /// @{
+    static constexpr std::size_t destRingSize = 64;
+    std::vector<RegId> recentIntDests_;
+    std::size_t intDestHead_ = 0;
+    std::size_t intDestCount_ = 0;
+    std::vector<RegId> recentFpDests_;
+    std::size_t fpDestHead_ = 0;
+    std::size_t fpDestCount_ = 0;
+    RegId nextIntDest_ = 4;
+    RegId nextFpDest_ = static_cast<RegId>(numArchIntRegs) + 4;
+    /// @}
+
+    /** @name Dynamic walk state */
+    /// @{
+    std::uint64_t generated_ = 0;
+    GenInst current_;
+    std::uint32_t curBlock_ = 0;
+    unsigned opIdx_ = 0;
+
+    /**
+     * Call stack modelled as a circular stack of the same depth as the
+     * front end's return address stack. Because correct-path fetch
+     * performs exactly the same push/pop sequence on the RAS, the two
+     * stay in lock-step (even across wrap-around overflow), which is
+     * how real code behaves: returns go where calls came from.
+     */
+    static constexpr unsigned callStackDepth = 16;
+    std::uint32_t callStack_[callStackDepth] = {};
+    unsigned callTop_ = 0;
+    unsigned callDepth_ = 0;
+    /// @}
+
+    /** @name Dynamic memory state */
+    /// @{
+    std::vector<std::uint64_t> hotLineRing_;
+    std::size_t hotLineHead_ = 0;
+    std::vector<std::uint64_t> warmLineRing_;
+    std::size_t warmLineHead_ = 0;
+    std::uint64_t freshLine_ = 0;
+    std::uint64_t wpLine_ = 0;
+    /// @}
+};
+
+} // namespace gals
+
+#endif // WORKLOAD_GENERATOR_HH

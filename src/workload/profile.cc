@@ -1,0 +1,42 @@
+#include "workload/profile.hh"
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+double
+BenchmarkProfile::mixSum() const
+{
+    return fracCondBranch + fracUncondBranch + 2 * fracCall + fracLoad +
+           fracStore + fracFpAlu + fracFpMult + fracFpDiv + fracIntMult +
+           fracIntDiv;
+}
+
+void
+BenchmarkProfile::validate() const
+{
+    if (name.empty())
+        gals_fatal("benchmark profile without a name");
+    const double sum = mixSum();
+    if (sum >= 1.0)
+        gals_fatal("benchmark '", name, "': instruction mix sums to ",
+                   sum, " (>= 1)");
+    auto frac_ok = [](double f) { return f >= 0.0 && f <= 1.0; };
+    if (!frac_ok(easyBranchFrac) || !frac_ok(loopBranchFrac) ||
+        easyBranchFrac + loopBranchFrac > 1.0)
+        gals_fatal("benchmark '", name, "': bad branch-kind fractions");
+    if (!frac_ok(easyBias) || !frac_ok(hardBias))
+        gals_fatal("benchmark '", name, "': branch biases not in [0,1]");
+    if (!frac_ok(l1Reuse) || !frac_ok(l2Reuse) || l1Reuse + l2Reuse > 1.0)
+        gals_fatal("benchmark '", name, "': bad locality fractions");
+    if (intDepDistMean < 1.0 || fpDepDistMean < 1.0)
+        gals_fatal("benchmark '", name, "': dependency distances < 1");
+    if (codeBlocks == 0 || jumpRadius == 0 || funcEntryStride == 0 ||
+        hotLines == 0 || warmLines == 0)
+        gals_fatal("benchmark '", name, "': zero-sized structure");
+    if (!frac_ok(jumpLocality))
+        gals_fatal("benchmark '", name, "': bad jump locality");
+}
+
+} // namespace gals

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Tests for the backend structures: ROB ordering and squash, issue
+ * queue wakeup/selection, LSQ forwarding and the functional unit pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/fu_pool.hh"
+#include "cpu/issue_queue.hh"
+#include "cpu/lsq.hh"
+#include "cpu/rob.hh"
+#include "cpu/scoreboard.hh"
+
+using namespace gals;
+
+namespace
+{
+
+DynInstPtr
+makeInst(InstSeqNum seq, InstClass cls = InstClass::intAlu)
+{
+    auto di = std::make_shared<DynInst>();
+    di->seq = seq;
+    di->cls = cls;
+    return di;
+}
+
+DynInstPtr
+makeDep(InstSeqNum seq, PhysRegId src, std::uint32_t epoch)
+{
+    auto di = makeInst(seq);
+    di->numSrcs = 1;
+    di->physSrcs[0] = src;
+    di->srcEpochs[0] = epoch;
+    return di;
+}
+
+} // namespace
+
+// ------------------------------------------------------------------ ROB
+
+TEST(Rob, InsertAndCommitInOrder)
+{
+    Rob rob(8);
+    rob.insert(makeInst(1));
+    rob.insert(makeInst(2));
+    EXPECT_EQ(rob.head()->seq, 1u);
+    rob.popHead();
+    EXPECT_EQ(rob.head()->seq, 2u);
+}
+
+TEST(Rob, FullDetection)
+{
+    Rob rob(2);
+    rob.insert(makeInst(1));
+    EXPECT_FALSE(rob.full());
+    rob.insert(makeInst(2));
+    EXPECT_TRUE(rob.full());
+}
+
+TEST(Rob, MarkCompleted)
+{
+    Rob rob(4);
+    rob.insert(makeInst(1));
+    rob.insert(makeInst(2));
+    EXPECT_TRUE(rob.markCompleted(2));
+    EXPECT_FALSE(rob.head()->completed);
+    EXPECT_FALSE(rob.markCompleted(99)); // unknown seq: benign
+}
+
+TEST(Rob, SquashAfterRemovesYoungestFirst)
+{
+    Rob rob(8);
+    for (InstSeqNum s = 1; s <= 5; ++s)
+        rob.insert(makeInst(s));
+    std::vector<InstSeqNum> squashed;
+    const unsigned n = rob.squashAfter(
+        2, [&squashed](DynInst &d) { squashed.push_back(d.seq); });
+    EXPECT_EQ(n, 3u);
+    EXPECT_EQ(squashed, (std::vector<InstSeqNum>{5, 4, 3}));
+    EXPECT_EQ(rob.size(), 2u);
+}
+
+TEST(Rob, SquashSetsFlag)
+{
+    Rob rob(4);
+    auto di = makeInst(3);
+    rob.insert(makeInst(1));
+    rob.insert(di);
+    rob.squashAfter(1, [](DynInst &) {});
+    EXPECT_TRUE(di->squashed);
+}
+
+// --------------------------------------------------------- Issue queue
+
+TEST(IssueQueue, ReadyAtInsertIssuesImmediately)
+{
+    Scoreboard sb(16);
+    IssueQueue iq("iq", 4, sb);
+    auto di = makeDep(1, 3, 0); // epoch 0 always ready
+    iq.insert(di);
+    const auto sel =
+        iq.selectIssue(4, [](const DynInst &) { return true; });
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_EQ(sel[0]->seq, 1u);
+    EXPECT_TRUE(iq.empty());
+}
+
+TEST(IssueQueue, WaitsForWakeup)
+{
+    Scoreboard sb(16);
+    IssueQueue iq("iq", 4, sb);
+    iq.insert(makeDep(1, 3, 5)); // needs epoch 5 of reg 3
+    EXPECT_TRUE(iq.selectIssue(4, [](const DynInst &) {
+                      return true;
+                  }).empty());
+    sb.observe(3, 5);
+    iq.wakeup(3, 5);
+    EXPECT_EQ(iq.selectIssue(4, [](const DynInst &) {
+                    return true;
+                }).size(),
+              1u);
+}
+
+TEST(IssueQueue, StaleWakeupIgnored)
+{
+    Scoreboard sb(16);
+    IssueQueue iq("iq", 4, sb);
+    iq.insert(makeDep(1, 3, 5));
+    iq.wakeup(3, 4); // older epoch: not enough
+    EXPECT_TRUE(iq.selectIssue(4, [](const DynInst &) {
+                      return true;
+                  }).empty());
+}
+
+TEST(IssueQueue, OldestFirstSelection)
+{
+    Scoreboard sb(16);
+    IssueQueue iq("iq", 8, sb);
+    for (InstSeqNum s = 1; s <= 4; ++s)
+        iq.insert(makeDep(s, 0, 0));
+    const auto sel =
+        iq.selectIssue(2, [](const DynInst &) { return true; });
+    ASSERT_EQ(sel.size(), 2u);
+    EXPECT_EQ(sel[0]->seq, 1u);
+    EXPECT_EQ(sel[1]->seq, 2u);
+}
+
+TEST(IssueQueue, FuRejectionSkipsButKeeps)
+{
+    Scoreboard sb(16);
+    IssueQueue iq("iq", 8, sb);
+    auto mul = makeInst(1, InstClass::intMult);
+    auto alu = makeInst(2, InstClass::intAlu);
+    iq.insert(mul);
+    iq.insert(alu);
+    // Reject multiplies: the younger ALU op issues around it.
+    const auto sel = iq.selectIssue(4, [](const DynInst &d) {
+        return d.cls != InstClass::intMult;
+    });
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_EQ(sel[0]->seq, 2u);
+    EXPECT_EQ(iq.size(), 1u);
+}
+
+TEST(IssueQueue, SquashAfter)
+{
+    Scoreboard sb(16);
+    IssueQueue iq("iq", 8, sb);
+    for (InstSeqNum s = 1; s <= 5; ++s)
+        iq.insert(makeDep(s, 0, 0));
+    EXPECT_EQ(iq.squashAfter(3), 2u);
+    EXPECT_EQ(iq.size(), 3u);
+}
+
+TEST(IssueQueue, CapacityEnforced)
+{
+    Scoreboard sb(16);
+    IssueQueue iq("iq", 2, sb);
+    iq.insert(makeInst(1));
+    iq.insert(makeInst(2));
+    EXPECT_TRUE(iq.full());
+}
+
+// ---------------------------------------------------------------- LSQ
+
+TEST(Lsq, ForwardFromCompletedOlderStore)
+{
+    Lsq lsq(8);
+    auto st = makeInst(1, InstClass::store);
+    st->memAddr = 0x1000;
+    st->completed = true;
+    auto ld = makeInst(2, InstClass::load);
+    ld->memAddr = 0x1008; // same 32B line
+    lsq.insert(st);
+    lsq.insert(ld);
+    EXPECT_TRUE(lsq.loadForwards(ld));
+}
+
+TEST(Lsq, NoForwardFromIncompleteStore)
+{
+    Lsq lsq(8);
+    auto st = makeInst(1, InstClass::store);
+    st->memAddr = 0x1000;
+    auto ld = makeInst(2, InstClass::load);
+    ld->memAddr = 0x1000;
+    lsq.insert(st);
+    lsq.insert(ld);
+    EXPECT_FALSE(lsq.loadForwards(ld));
+}
+
+TEST(Lsq, NoForwardFromYoungerStore)
+{
+    Lsq lsq(8);
+    auto ld = makeInst(1, InstClass::load);
+    ld->memAddr = 0x1000;
+    auto st = makeInst(2, InstClass::store);
+    st->memAddr = 0x1000;
+    st->completed = true;
+    lsq.insert(ld);
+    lsq.insert(st);
+    EXPECT_FALSE(lsq.loadForwards(ld));
+}
+
+TEST(Lsq, DifferentLineNoForward)
+{
+    Lsq lsq(8);
+    auto st = makeInst(1, InstClass::store);
+    st->memAddr = 0x1000;
+    st->completed = true;
+    auto ld = makeInst(2, InstClass::load);
+    ld->memAddr = 0x1040;
+    lsq.insert(st);
+    lsq.insert(ld);
+    EXPECT_FALSE(lsq.loadForwards(ld));
+}
+
+TEST(Lsq, RemoveAndSquash)
+{
+    Lsq lsq(8);
+    auto st = makeInst(1, InstClass::store);
+    auto ld = makeInst(2, InstClass::load);
+    auto ld2 = makeInst(3, InstClass::load);
+    lsq.insert(st);
+    lsq.insert(ld);
+    lsq.insert(ld2);
+    lsq.removeLoad(2);
+    EXPECT_EQ(lsq.size(), 2u);
+    EXPECT_EQ(lsq.squashAfter(1), 1u);
+    lsq.removeStore(1);
+    EXPECT_EQ(lsq.size(), 0u);
+}
+
+// ------------------------------------------------------------ FU pool
+
+TEST(FuPool, SimpleUnitsPerCycle)
+{
+    FuPool fu(2, 1, 0);
+    fu.newCycle(0);
+    EXPECT_TRUE(fu.available(InstClass::intAlu));
+    fu.allocate(InstClass::intAlu, 1);
+    fu.allocate(InstClass::intAlu, 1);
+    EXPECT_FALSE(fu.available(InstClass::intAlu));
+    fu.newCycle(1);
+    EXPECT_TRUE(fu.available(InstClass::intAlu));
+}
+
+TEST(FuPool, BranchesShareSimpleAlus)
+{
+    FuPool fu(1, 1, 0);
+    fu.newCycle(0);
+    fu.allocate(InstClass::condBranch, 1);
+    EXPECT_FALSE(fu.available(InstClass::intAlu));
+}
+
+TEST(FuPool, UnpipelinedDivideBlocksMulGroup)
+{
+    FuPool fu(4, 1, 0);
+    fu.newCycle(0);
+    fu.allocate(InstClass::intDiv, 20);
+    fu.newCycle(1);
+    EXPECT_FALSE(fu.available(InstClass::intMult));
+    fu.newCycle(20);
+    EXPECT_TRUE(fu.available(InstClass::intMult));
+}
+
+TEST(FuPool, PipelinedMultiplyIssuesEveryCycle)
+{
+    FuPool fu(4, 1, 0);
+    fu.newCycle(0);
+    fu.allocate(InstClass::intMult, 3);
+    fu.newCycle(1);
+    EXPECT_TRUE(fu.available(InstClass::intMult));
+}
+
+TEST(FuPool, MemPortsIndependent)
+{
+    FuPool fu(0, 0, 2);
+    fu.newCycle(0);
+    fu.allocate(InstClass::load, 1);
+    fu.allocate(InstClass::store, 1);
+    EXPECT_FALSE(fu.available(InstClass::load));
+    fu.newCycle(1);
+    EXPECT_TRUE(fu.available(InstClass::store));
+}
+
+// -------------------------------------------------------- Scoreboard
+
+TEST(Scoreboard, EpochSemantics)
+{
+    Scoreboard sb(8);
+    EXPECT_TRUE(sb.ready(3, 0));  // initial values ready
+    EXPECT_FALSE(sb.ready(3, 1)); // allocated epoch pending
+    sb.observe(3, 1);
+    EXPECT_TRUE(sb.ready(3, 1));
+    sb.observe(3, 0); // stale observe cannot regress
+    EXPECT_TRUE(sb.ready(3, 1));
+}

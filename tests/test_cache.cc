@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the cache model and hierarchy: geometry checks, hit/miss
+ * behaviour, LRU replacement, write-back traffic and the level
+ * reporting the pipeline converts into latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+using namespace gals;
+
+namespace
+{
+
+bool
+touch(Cache &c, std::uint64_t addr, bool write = false)
+{
+    bool wb = false;
+    return c.access(addr, write, wb);
+}
+
+} // namespace
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache c("c", 16 * 1024, 4, 32, 1);
+    EXPECT_EQ(c.sets(), 128u);
+    EXPECT_EQ(c.ways(), 4u);
+    EXPECT_EQ(c.lineBytes(), 32u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c("c", 1024, 2, 32, 1);
+    EXPECT_FALSE(touch(c, 0x1000));
+    EXPECT_TRUE(touch(c, 0x1000));
+    EXPECT_EQ(c.accesses(), 2u);
+    EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetHits)
+{
+    Cache c("c", 1024, 2, 32, 1);
+    touch(c, 0x2000);
+    EXPECT_TRUE(touch(c, 0x2000 + 31));
+    EXPECT_FALSE(touch(c, 0x2000 + 32)); // next line
+}
+
+TEST(Cache, AssociativityHoldsConflictingLines)
+{
+    // 2-way, 16 sets of 32B: addresses 32*16 apart map to one set.
+    Cache c("c", 1024, 2, 32, 1);
+    const std::uint64_t stride = 32 * 16;
+    touch(c, 0);
+    touch(c, stride);
+    EXPECT_TRUE(touch(c, 0));
+    EXPECT_TRUE(touch(c, stride));
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c("c", 1024, 2, 32, 1);
+    const std::uint64_t stride = 32 * 16;
+    touch(c, 0 * stride);
+    touch(c, 1 * stride);
+    touch(c, 0 * stride);          // 0 is now MRU
+    touch(c, 2 * stride);          // evicts 1 (LRU)
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(1 * stride));
+    EXPECT_TRUE(c.contains(2 * stride));
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    Cache c("c", 512, 1, 32, 1);
+    const std::uint64_t stride = 512;
+    touch(c, 0);
+    touch(c, stride); // same index, evicts
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_FALSE(touch(c, 0));
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache c("c", 1024, 1, 32, 1);
+    const std::uint64_t stride = 1024;
+    bool wb = false;
+    c.access(0, true, wb); // dirty
+    EXPECT_FALSE(wb);
+    c.access(stride, false, wb); // evicts dirty line
+    EXPECT_TRUE(wb);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache c("c", 1024, 1, 32, 1);
+    bool wb = false;
+    c.access(0, false, wb);
+    c.access(1024, false, wb);
+    EXPECT_FALSE(wb);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache c("c", 1024, 1, 32, 1);
+    bool wb = false;
+    c.access(0, false, wb); // clean fill
+    c.access(0, true, wb);  // dirty it
+    c.access(1024, false, wb);
+    EXPECT_TRUE(wb);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache c("c", 1024, 2, 32, 1);
+    touch(c, 0x100);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x100));
+}
+
+TEST(Cache, MissRateArithmetic)
+{
+    Cache c("c", 1024, 2, 32, 1);
+    touch(c, 0);
+    touch(c, 0);
+    touch(c, 0);
+    touch(c, 4096);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+TEST(Hierarchy, L1HitLevel)
+{
+    CacheHierarchy h;
+    h.dataAccess(0x1000, false); // cold: fills all levels
+    const auto oc = h.dataAccess(0x1000, false);
+    EXPECT_EQ(oc.level, 1u);
+    EXPECT_EQ(oc.l2Accesses, 0u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    HierarchyConfig cfg;
+    CacheHierarchy h(cfg);
+    h.dataAccess(0x0, false);
+    // Evict from 16KB 4-way L1 by filling its set (stride = 4KB).
+    for (int i = 1; i <= 4; ++i)
+        h.dataAccess(i * 4096ull, false);
+    const auto oc = h.dataAccess(0x0, false);
+    EXPECT_EQ(oc.level, 2u); // still L2-resident
+}
+
+TEST(Hierarchy, MemoryLevelOnColdAccess)
+{
+    CacheHierarchy h;
+    const auto oc = h.dataAccess(0xdeadbe00, false);
+    EXPECT_EQ(oc.level, 3u);
+    EXPECT_EQ(oc.memAccesses, 1u);
+    EXPECT_EQ(h.memory().accesses(), 1u);
+}
+
+TEST(Hierarchy, InstFetchUsesIl1)
+{
+    CacheHierarchy h;
+    h.instFetch(0x400000);
+    EXPECT_EQ(h.il1().accesses(), 1u);
+    EXPECT_EQ(h.dl1().accesses(), 0u);
+    const auto oc = h.instFetch(0x400000);
+    EXPECT_EQ(oc.level, 1u);
+}
+
+TEST(Hierarchy, DirtyL1VictimWritesIntoL2)
+{
+    CacheHierarchy h;
+    h.dataAccess(0x0, true); // dirty in L1
+    const auto before = h.l2().accesses();
+    for (int i = 1; i <= 4; ++i)
+        h.dataAccess(i * 4096ull, false); // evict the dirty line
+    EXPECT_GT(h.l2().accesses(), before + 3); // demand + writeback
+}
+
+TEST(Hierarchy, Table3Defaults)
+{
+    const HierarchyConfig cfg;
+    EXPECT_EQ(cfg.il1Size, 16u * 1024);
+    EXPECT_EQ(cfg.il1Ways, 1u);  // direct mapped
+    EXPECT_EQ(cfg.dl1Size, 16u * 1024);
+    EXPECT_EQ(cfg.dl1Ways, 4u);
+    EXPECT_EQ(cfg.l2Size, 256u * 1024);
+    EXPECT_EQ(cfg.l2Ways, 4u);
+    EXPECT_EQ(cfg.l2Latency, 6u);
+    EXPECT_EQ(cfg.dl1Latency, 1u);
+    EXPECT_EQ(cfg.il1Latency, 1u);
+}
+
+/** Parameterized geometry sweep: construction + basic behaviour. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheGeometry, FillThenFullyHit)
+{
+    const auto [kb, ways] = GetParam();
+    Cache c("c", kb * 1024ull, ways, 32, 1);
+    const unsigned lines = kb * 1024 / 32;
+    for (unsigned i = 0; i < lines; ++i)
+        touch(c, i * 32ull);
+    // Second pass: everything resident.
+    for (unsigned i = 0; i < lines; ++i)
+        ASSERT_TRUE(touch(c, i * 32ull)) << "line " << i;
+    EXPECT_EQ(c.misses(), lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CacheGeometry,
+    ::testing::Values(std::make_tuple(1u, 1u), std::make_tuple(4u, 2u),
+                      std::make_tuple(16u, 4u), std::make_tuple(8u, 8u),
+                      std::make_tuple(256u, 4u)));

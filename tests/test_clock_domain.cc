@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for ClockDomain: edge timing, phases, cycle counting,
+ * runtime retiming (the DVFS mechanism) and next-edge queries (the
+ * primitive the asynchronous FIFO visibility rules are built on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock_domain.hh"
+
+using namespace gals;
+
+TEST(ClockDomain, TicksAtPeriod)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1000);
+    std::vector<Tick> edges;
+    cd.addTicker([&] { edges.push_back(eq.now()); });
+    cd.start();
+    eq.runUntil(3500);
+    EXPECT_EQ(edges, (std::vector<Tick>{0, 1000, 2000, 3000}));
+}
+
+TEST(ClockDomain, PhaseOffsetsFirstEdge)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1000, 250);
+    std::vector<Tick> edges;
+    cd.addTicker([&] { edges.push_back(eq.now()); });
+    cd.start();
+    eq.runUntil(2500);
+    EXPECT_EQ(edges, (std::vector<Tick>{250, 1250, 2250}));
+}
+
+TEST(ClockDomain, CycleCounts)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 500);
+    cd.start();
+    eq.runUntil(2400);
+    EXPECT_EQ(cd.cycle(), 5u); // edges at 0,500,1000,1500,2000
+}
+
+TEST(ClockDomain, TickerPriorityOrder)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1000);
+    std::vector<int> order;
+    cd.addTicker([&] { order.push_back(2); }, 50);
+    cd.addTicker([&] { order.push_back(1); }, 10);
+    cd.addTicker([&] { order.push_back(3); }, 90);
+    cd.start();
+    eq.runUntil(0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ClockDomain, EqualPriorityRegistrationOrder)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1000);
+    std::vector<int> order;
+    cd.addTicker([&] { order.push_back(1); });
+    cd.addTicker([&] { order.push_back(2); });
+    cd.start();
+    eq.runUntil(0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ClockDomain, StopHaltsEdges)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 100);
+    int ticks = 0;
+    cd.addTicker([&] { ++ticks; });
+    cd.start();
+    eq.runUntil(250);
+    cd.stop();
+    eq.runUntil(1000);
+    EXPECT_EQ(ticks, 3);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(ClockDomain, RetimeTakesEffectNextEdge)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 100);
+    std::vector<Tick> edges;
+    cd.addTicker([&] {
+        edges.push_back(eq.now());
+        if (edges.size() == 2)
+            cd.setPeriod(300);
+    });
+    cd.start();
+    eq.runUntil(1000);
+    ASSERT_GE(edges.size(), 4u);
+    EXPECT_EQ(edges[0], 0u);
+    EXPECT_EQ(edges[1], 100u);
+    EXPECT_EQ(edges[2], 400u);
+    EXPECT_EQ(edges[3], 700u);
+}
+
+TEST(ClockDomain, FrequencyMHz)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1000); // 1 ns
+    EXPECT_DOUBLE_EQ(cd.frequencyMHz(), 1000.0);
+    cd.setPeriod(2000);
+    EXPECT_DOUBLE_EQ(cd.frequencyMHz(), 500.0);
+}
+
+TEST(ClockDomain, NextEdgeAtBeforeStart)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1000, 300);
+    EXPECT_EQ(cd.nextEdgeAt(0), 300u);
+    EXPECT_EQ(cd.nextEdgeAt(300), 300u);
+    EXPECT_EQ(cd.nextEdgeAt(301), 1300u);
+}
+
+TEST(ClockDomain, NextEdgeAtWhileRunning)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1000);
+    cd.start();
+    eq.runUntil(2100); // edges at 0,1000,2000; next scheduled 3000
+    EXPECT_EQ(cd.nextEdgeAt(2100), 3000u);
+    EXPECT_EQ(cd.nextEdgeAt(3000), 3000u);
+    EXPECT_EQ(cd.nextEdgeAt(3001), 4000u);
+    EXPECT_EQ(cd.nextEdgeAt(7500), 8000u);
+}
+
+TEST(ClockDomain, NextEdgeAfterIsStrict)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1000);
+    cd.start();
+    eq.runUntil(500);
+    EXPECT_EQ(cd.nextEdgeAfter(1000), 2000u);
+    EXPECT_EQ(cd.nextEdgeAfter(999), 1000u);
+}
+
+TEST(ClockDomain, SetPhaseBeforeStart)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1000);
+    cd.setPhase(420);
+    std::vector<Tick> edges;
+    cd.addTicker([&] { edges.push_back(eq.now()); });
+    cd.start();
+    eq.runUntil(1500);
+    EXPECT_EQ(edges, (std::vector<Tick>{420, 1420}));
+}
+
+TEST(ClockDomain, VddStorage)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1000);
+    EXPECT_DOUBLE_EQ(cd.vdd(), 1.5);
+    cd.setVdd(1.1);
+    EXPECT_DOUBLE_EQ(cd.vdd(), 1.1);
+}
+
+TEST(ClockDomain, TwoDomainsInterleave)
+{
+    EventQueue eq;
+    ClockDomain a(eq, "a", 200);
+    ClockDomain b(eq, "b", 300, 50);
+    std::vector<std::pair<char, Tick>> log;
+    a.addTicker([&] { log.emplace_back('a', eq.now()); });
+    b.addTicker([&] { log.emplace_back('b', eq.now()); });
+    a.start();
+    b.start();
+    eq.runUntil(650);
+    const std::vector<std::pair<char, Tick>> expect = {
+        {'a', 0},   {'b', 50},  {'a', 200}, {'b', 350},
+        {'a', 400}, {'a', 600}, {'b', 650},
+    };
+    EXPECT_EQ(log, expect);
+}
+
+TEST(ClockDomain, LastEdgeTracksMostRecent)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 400);
+    cd.start();
+    eq.runUntil(900);
+    EXPECT_EQ(cd.lastEdge(), 800u);
+}

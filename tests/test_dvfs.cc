@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the voltage/frequency scaling math (paper equation 1):
+ * delay-factor properties, the bisection inverse, energy factors, the
+ * named experiment policies and the "ideal" scaling bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dvfs/dvfs_policy.hh"
+#include "dvfs/vscale.hh"
+
+using namespace gals;
+
+namespace
+{
+const TechParams &tech = defaultTech();
+}
+
+TEST(Vscale, NominalDelayIsUnity)
+{
+    EXPECT_DOUBLE_EQ(delayFactor(tech.vddNominal, tech), 1.0);
+}
+
+TEST(Vscale, LowerVoltageIsSlower)
+{
+    EXPECT_GT(delayFactor(1.2, tech), 1.0);
+    EXPECT_GT(delayFactor(0.8, tech), delayFactor(1.2, tech));
+}
+
+TEST(Vscale, SolverInvertsDelayFactor)
+{
+    for (const double s : {1.0, 1.111, 1.25, 1.5, 2.0, 3.0, 5.0}) {
+        const double v = vddForSlowdown(s, tech);
+        EXPECT_NEAR(delayFactor(v, tech), s, 1e-6) << "slowdown " << s;
+        EXPECT_GT(v, tech.vt);
+        EXPECT_LE(v, tech.vddNominal);
+    }
+}
+
+TEST(Vscale, SlowdownOneKeepsNominal)
+{
+    EXPECT_DOUBLE_EQ(vddForSlowdown(1.0, tech), tech.vddNominal);
+}
+
+TEST(Vscale, EnergyFactorQuadratic)
+{
+    EXPECT_DOUBLE_EQ(energyFactor(tech.vddNominal, tech), 1.0);
+    EXPECT_NEAR(energyFactor(tech.vddNominal / 2, tech), 0.25, 1e-12);
+}
+
+TEST(Vscale, PaperAlphaValue)
+{
+    // Paper section 5.2: alpha = 1.6 for 0.13 um devices.
+    EXPECT_DOUBLE_EQ(tech.alpha, 1.6);
+}
+
+TEST(Vscale, MonotoneSlowdownVoltage)
+{
+    double prev = tech.vddNominal + 1;
+    for (double s = 1.0; s <= 4.0; s += 0.25) {
+        const double v = vddForSlowdown(s, tech);
+        EXPECT_LT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(DvfsSetting, VddPerDomain)
+{
+    DvfsSetting d;
+    d.slowdown[domainIndex(DomainId::fpd)] = 2.0;
+    EXPECT_DOUBLE_EQ(d.vddOf(DomainId::intd, tech), tech.vddNominal);
+    EXPECT_LT(d.vddOf(DomainId::fpd, tech), tech.vddNominal);
+    EXPECT_FALSE(d.allNominal());
+}
+
+TEST(DvfsSetting, VoltageScalingCanBeDisabled)
+{
+    DvfsSetting d;
+    d.slowdown[domainIndex(DomainId::fpd)] = 2.0;
+    d.scaleVoltage = false;
+    EXPECT_DOUBLE_EQ(d.vddOf(DomainId::fpd, tech), tech.vddNominal);
+}
+
+TEST(DvfsSetting, DefaultAllNominal)
+{
+    DvfsSetting d;
+    EXPECT_TRUE(d.allNominal());
+}
+
+TEST(Policy, SlowdownFromPercent)
+{
+    EXPECT_DOUBLE_EQ(slowdownFromPercent(0.0), 1.0);
+    EXPECT_NEAR(slowdownFromPercent(10.0), 1.0 / 0.9, 1e-12);
+    EXPECT_NEAR(slowdownFromPercent(50.0), 2.0, 1e-12);
+}
+
+TEST(Policy, GenericMatchesFigure11)
+{
+    const DvfsPolicy p = genericSlowdownPolicy();
+    EXPECT_NEAR(p.setting.slowdown[domainIndex(DomainId::fetch)],
+                1.0 / 0.9, 1e-9);
+    EXPECT_NEAR(p.setting.slowdown[domainIndex(DomainId::memd)],
+                1.0 / 0.9, 1e-9);
+    EXPECT_NEAR(p.setting.slowdown[domainIndex(DomainId::fpd)], 2.0,
+                1e-9);
+    EXPECT_DOUBLE_EQ(p.setting.slowdown[domainIndex(DomainId::intd)],
+                     1.0);
+}
+
+TEST(Policy, IjpegSweepMatchesFigure12)
+{
+    const auto policies = ijpegSweepPolicies();
+    ASSERT_EQ(policies.size(), 4u);
+    EXPECT_EQ(policies[0].name, "gals-00");
+    EXPECT_EQ(policies[3].name, "gals-50");
+    for (const auto &p : policies) {
+        EXPECT_NEAR(p.setting.slowdown[domainIndex(DomainId::fetch)],
+                    1.0 / 0.9, 1e-9);
+        EXPECT_NEAR(p.setting.slowdown[domainIndex(DomainId::fpd)],
+                    1.0 / 0.8, 1e-9);
+    }
+    EXPECT_NEAR(policies[3].setting.slowdown[domainIndex(
+                    DomainId::memd)],
+                2.0, 1e-9);
+}
+
+TEST(Policy, GccMatchesFigure13)
+{
+    const DvfsPolicy g1 = gccFpPolicy(1);
+    const DvfsPolicy g2 = gccFpPolicy(2);
+    EXPECT_NEAR(g1.setting.slowdown[domainIndex(DomainId::fpd)], 2.0,
+                1e-9);
+    EXPECT_NEAR(g2.setting.slowdown[domainIndex(DomainId::fpd)], 3.0,
+                1e-9);
+    EXPECT_EQ(g1.name, "gals-1");
+    EXPECT_EQ(g2.name, "gals-2");
+}
+
+TEST(Policy, PerlFp3x)
+{
+    const DvfsPolicy p = perlFpPolicy();
+    EXPECT_NEAR(p.setting.slowdown[domainIndex(DomainId::fpd)], 3.0,
+                1e-9);
+}
+
+TEST(Ideal, ScalingBound)
+{
+    const IdealScaling is = idealScalingForPerf(0.8, tech);
+    EXPECT_NEAR(is.slowdown, 1.25, 1e-9);
+    EXPECT_LT(is.vdd, tech.vddNominal);
+    EXPECT_LT(is.energyFactor, 1.0);
+    EXPECT_LT(is.powerFactor, is.energyFactor);
+}
+
+TEST(Ideal, PerfectPerfIsIdentity)
+{
+    const IdealScaling is = idealScalingForPerf(1.0, tech);
+    EXPECT_DOUBLE_EQ(is.slowdown, 1.0);
+    EXPECT_DOUBLE_EQ(is.energyFactor, 1.0);
+}
+
+TEST(Ideal, MoreSlowdownMoreSavings)
+{
+    const IdealScaling a = idealScalingForPerf(0.9, tech);
+    const IdealScaling b = idealScalingForPerf(0.7, tech);
+    EXPECT_LT(b.energyFactor, a.energyFactor);
+}

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Paper-shape integration tests: the qualitative results of every
+ * figure must hold — GALS loses performance but not catastrophically,
+ * per-cycle power drops (global clock eliminated), energy does not
+ * drop much (overheads offset the clock saving), slip and speculation
+ * grow, and per-domain DVFS trades performance for energy.
+ *
+ * Bands are deliberately loose: these tests pin the *shape* of the
+ * reproduction, not exact numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "dvfs/dvfs_policy.hh"
+
+using namespace gals;
+
+namespace
+{
+
+constexpr std::uint64_t testInsts = 12000;
+
+const PairResults &
+gccPair()
+{
+    static const PairResults pr = runPair("gcc", testInsts);
+    return pr;
+}
+
+} // namespace
+
+TEST(PaperShape, GalsIsSlowerWithinBand)
+{
+    // Paper Figure 5: 5-15% slowdown. Allow 2-25%.
+    const double perf =
+        gccPair().galsRun.ipcNominal / gccPair().base.ipcNominal;
+    EXPECT_LT(perf, 0.98);
+    EXPECT_GT(perf, 0.75);
+}
+
+TEST(PaperShape, GalsPowerIsLower)
+{
+    // Paper Figure 9: per-cycle/average power drops ~10%.
+    EXPECT_LT(gccPair().powerRatio(), 0.97);
+    EXPECT_GT(gccPair().powerRatio(), 0.70);
+}
+
+TEST(PaperShape, GalsEnergyDoesNotDropMuch)
+{
+    // Paper Figure 9: energy is about the same (±1% on average);
+    // "elimination of the global clock is not in itself a solution
+    // for low power".
+    EXPECT_GT(gccPair().energyRatio(), 0.90);
+    EXPECT_LT(gccPair().energyRatio(), 1.15);
+}
+
+TEST(PaperShape, SlipGrows)
+{
+    // Paper Figure 6.
+    EXPECT_GT(gccPair().slipRatio(), 1.0);
+}
+
+TEST(PaperShape, FifoResidencyExplainsOnlyPartOfSlipGrowth)
+{
+    // Paper Figure 7: slip growth exceeds FIFO residency alone.
+    const auto &pr = gccPair();
+    EXPECT_GT(pr.galsRun.avgFifoSlipCycles, 0.0);
+    EXPECT_LT(pr.galsRun.avgFifoSlipCycles,
+              pr.galsRun.avgSlipCycles);
+}
+
+TEST(PaperShape, SpeculationGrows)
+{
+    // Paper Figure 8: more wrong-path work in GALS.
+    EXPECT_GT(gccPair().galsRun.misspecFraction,
+              gccPair().base.misspecFraction * 0.95);
+}
+
+TEST(PaperShape, GlobalClockShareIsAbout10Percent)
+{
+    double total = 0.0;
+    for (const auto &[u, nj] : gccPair().base.unitEnergyNj)
+        total += nj;
+    const double share =
+        gccPair().base.unitEnergyNj.at("global_clock") / total;
+    EXPECT_GT(share, 0.05);
+    EXPECT_LT(share, 0.20);
+}
+
+TEST(PaperShape, FppppLeastAffectedAmongTested)
+{
+    // Paper: fpppp has the lowest performance hit (fewest branches).
+    const PairResults fp = runPair("fpppp", testInsts);
+    const PairResults go = runPair("go", testInsts);
+    const double perf_fp =
+        fp.galsRun.ipcNominal / fp.base.ipcNominal;
+    const double perf_go =
+        go.galsRun.ipcNominal / go.base.ipcNominal;
+    EXPECT_GT(perf_fp, perf_go - 0.03);
+}
+
+TEST(PaperShape, DvfsTradesPerformanceForEnergy)
+{
+    // Paper Figure 13: gcc with a slow FP clock saves energy & power.
+    const PairResults pr =
+        runPair("gcc", testInsts, gccFpPolicy(1).setting);
+    EXPECT_LT(pr.energyRatio(), gccPair().energyRatio());
+    EXPECT_LT(pr.powerRatio(), gccPair().powerRatio());
+    EXPECT_LT(pr.galsRun.ipcNominal, pr.base.ipcNominal);
+}
+
+TEST(PaperShape, GccInsensitiveToFpSlowdownDepth)
+{
+    // Paper Figure 13: gals-1 vs gals-2 perform nearly identically.
+    const PairResults g1 =
+        runPair("gcc", testInsts, gccFpPolicy(1).setting);
+    const PairResults g2 =
+        runPair("gcc", testInsts, gccFpPolicy(2).setting);
+    const double p1 = g1.galsRun.ipcNominal / g1.base.ipcNominal;
+    const double p2 = g2.galsRun.ipcNominal / g2.base.ipcNominal;
+    EXPECT_NEAR(p1, p2, 0.03);
+}
+
+TEST(PaperShape, IjpegMemorySlowdownIsPoorTradeoff)
+{
+    // Paper Figure 12: more memory slowdown hurts performance more
+    // than it saves energy relative to the ideal bound.
+    const PairResults g00 =
+        runPair("ijpeg", testInsts, ijpegSweepPolicy(0).setting);
+    const PairResults g50 =
+        runPair("ijpeg", testInsts, ijpegSweepPolicy(50).setting);
+    const double p00 =
+        g00.galsRun.ipcNominal / g00.base.ipcNominal;
+    const double p50 =
+        g50.galsRun.ipcNominal / g50.base.ipcNominal;
+    EXPECT_LT(p50, p00); // deeper slowdown is slower
+    const IdealScaling ideal50 =
+        idealScalingForPerf(p50, defaultTech());
+    // GALS energy sits well above the ideal bound at that perf.
+    EXPECT_GT(g50.energyRatio(), ideal50.energyFactor + 0.05);
+}
+
+TEST(PaperShape, PhaseSensitivityIsSmall)
+{
+    // Paper section 5.1: ~0.5% variation with clock phase.
+    double mn = 1e30, mx = 0;
+    for (unsigned s = 0; s < 4; ++s) {
+        RunConfig rc;
+        rc.benchmark = "adpcm";
+        rc.instructions = 8000;
+        rc.gals = true;
+        rc.phaseSeed = 100 + s;
+        const RunResults r = runOne(rc);
+        mn = std::min(mn, r.ipcNominal);
+        mx = std::max(mx, r.ipcNominal);
+    }
+    EXPECT_LT((mx - mn) / mn, 0.05); // small, not zero
+    EXPECT_GT(mx, mn);               // but phases do matter
+}
+
+TEST(PaperShape, VoltageScalingRequiredForSavings)
+{
+    // Without voltage scaling, slowing a clock saves little energy.
+    DvfsSetting no_scale = gccFpPolicy(1).setting;
+    no_scale.scaleVoltage = false;
+    const PairResults off =
+        runPair("gcc", testInsts, no_scale);
+    const PairResults on =
+        runPair("gcc", testInsts, gccFpPolicy(1).setting);
+    EXPECT_LT(on.energyRatio(), off.energyRatio());
+}
+
+TEST(Experiment, ResultsAreInternallyConsistent)
+{
+    RunConfig rc;
+    rc.benchmark = "epic";
+    rc.instructions = 8000;
+    const RunResults r = runOne(rc);
+    EXPECT_EQ(r.committed, 8000u);
+    EXPECT_NEAR(r.avgPowerW, r.energyJ / r.timeSec, 1e-9);
+    EXPECT_NEAR(r.ipcNominal,
+                r.committed /
+                    (r.timeSec * 1e12 / 1000.0 /* cycles */),
+                1e-6);
+    double total = 0;
+    for (const auto &[u, nj] : r.unitEnergyNj)
+        total += nj;
+    EXPECT_NEAR(total * 1e-9, r.energyJ, r.energyJ * 1e-6);
+}
+
+TEST(Experiment, SameSeedSameResults)
+{
+    RunConfig rc;
+    rc.benchmark = "g721";
+    rc.instructions = 6000;
+    rc.gals = true;
+    const RunResults a = runOne(rc);
+    const RunResults b = runOne(rc);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_DOUBLE_EQ(a.energyJ, b.energyJ);
+}

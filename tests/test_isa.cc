@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the instruction model: class properties, latencies, queue
+ * binding and DynInst helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/dyn_inst.hh"
+
+using namespace gals;
+
+TEST(Isa, LatenciesMatchSimpleScalarDefaults)
+{
+    EXPECT_EQ(instLatency(InstClass::intAlu), 1u);
+    EXPECT_EQ(instLatency(InstClass::intMult), 3u);
+    EXPECT_EQ(instLatency(InstClass::fpAlu), 2u);
+    EXPECT_EQ(instLatency(InstClass::fpMult), 4u);
+    EXPECT_EQ(instLatency(InstClass::fpDiv), 12u);
+    EXPECT_EQ(instLatency(InstClass::load), 1u);
+}
+
+TEST(Isa, DividersAreUnpipelined)
+{
+    EXPECT_FALSE(instPipelined(InstClass::intDiv));
+    EXPECT_FALSE(instPipelined(InstClass::fpDiv));
+    EXPECT_TRUE(instPipelined(InstClass::intMult));
+    EXPECT_TRUE(instPipelined(InstClass::fpMult));
+}
+
+TEST(Isa, QueueBindingMatchesPaperDomains)
+{
+    // Branches resolve in the integer cluster (domain 3).
+    EXPECT_EQ(instQueue(InstClass::condBranch),
+              IssueQueueId::intQueue);
+    EXPECT_EQ(instQueue(InstClass::intAlu), IssueQueueId::intQueue);
+    EXPECT_EQ(instQueue(InstClass::fpMult), IssueQueueId::fpQueue);
+    EXPECT_EQ(instQueue(InstClass::load), IssueQueueId::memQueue);
+    EXPECT_EQ(instQueue(InstClass::store), IssueQueueId::memQueue);
+}
+
+TEST(Isa, Classification)
+{
+    EXPECT_TRUE(isBranchClass(InstClass::ret));
+    EXPECT_TRUE(isBranchClass(InstClass::call));
+    EXPECT_FALSE(isBranchClass(InstClass::load));
+    EXPECT_TRUE(isMemClass(InstClass::store));
+    EXPECT_TRUE(isFpClass(InstClass::fpDiv));
+    EXPECT_FALSE(isFpClass(InstClass::intDiv));
+}
+
+TEST(Isa, DestWriting)
+{
+    EXPECT_TRUE(writesDest(InstClass::load));
+    EXPECT_FALSE(writesDest(InstClass::store));
+    EXPECT_FALSE(writesDest(InstClass::condBranch));
+    EXPECT_TRUE(writesDest(InstClass::call)); // link register
+}
+
+TEST(Isa, RegisterClassSplit)
+{
+    EXPECT_FALSE(isFpReg(0));
+    EXPECT_FALSE(isFpReg(31));
+    EXPECT_TRUE(isFpReg(32));
+    EXPECT_TRUE(isFpReg(63));
+}
+
+TEST(DynInst, SlipArithmetic)
+{
+    DynInst di;
+    di.fetchTick = 1000;
+    di.commitTick = 23500;
+    EXPECT_EQ(di.slip(), 22500u);
+}
+
+TEST(DynInst, Helpers)
+{
+    DynInst di;
+    di.cls = InstClass::load;
+    di.dest = 5;
+    EXPECT_TRUE(di.isLoad());
+    EXPECT_TRUE(di.isMem());
+    EXPECT_FALSE(di.isStore());
+    EXPECT_TRUE(di.hasDest());
+    di.cls = InstClass::condBranch;
+    EXPECT_TRUE(di.isBranch());
+}
+
+TEST(DynInst, ToStringSmoke)
+{
+    DynInst di;
+    di.seq = 42;
+    di.cls = InstClass::condBranch;
+    di.pc = 0x400123;
+    di.mispredicted = true;
+    di.actualTaken = true;
+    const std::string s = di.toString();
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("MISP"), std::string::npos);
+}
+
+TEST(Isa, ClassNamesDistinct)
+{
+    std::set<std::string> names;
+    for (unsigned i = 0; i < numInstClasses; ++i)
+        names.insert(instClassName(static_cast<InstClass>(i)));
+    EXPECT_EQ(names.size(), numInstClasses);
+}

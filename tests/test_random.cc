@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, ranges and
+ * first-moment sanity of the distributions the workload generator
+ * relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+using namespace gals;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next64() == b.next64())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedResets)
+{
+    Rng a(7);
+    const auto first = a.next64();
+    a.next64();
+    a.seed(7);
+    EXPECT_EQ(a.next64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.range(3, 7);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 7u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeSingleValue)
+{
+    Rng r(9);
+    EXPECT_EQ(r.range(5, 5), 5u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        if (r.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanAndMinimum)
+{
+    Rng r(19);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const unsigned v = r.geometric(4.0);
+        ASSERT_GE(v, 1u);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, GeometricMeanOneDegenerates)
+{
+    Rng r(23);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.geometric(1.0), 1u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(29);
+    double sum = 0, sq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.gaussian(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the rename unit: RAT translation, free-list conservation,
+ * epochs, checkpoint/restore, and commit/squash freeing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/rename.hh"
+
+using namespace gals;
+
+namespace
+{
+
+DynInst
+makeOp(RegId dest, RegId s0 = 0, RegId s1 = 1)
+{
+    DynInst di;
+    di.cls = InstClass::intAlu;
+    di.numSrcs = 2;
+    di.srcs[0] = s0;
+    di.srcs[1] = s1;
+    di.dest = dest;
+    return di;
+}
+
+} // namespace
+
+TEST(Rename, InitialIdentityMapping)
+{
+    RenameUnit r(72, 72);
+    for (RegId a = 0; a < 32; ++a)
+        EXPECT_EQ(r.mapOf(a), a);
+    EXPECT_EQ(r.mapOf(32), 72); // first fp arch reg -> fp base
+}
+
+TEST(Rename, AllocatesNewDest)
+{
+    RenameUnit r(72, 72);
+    DynInst di = makeOp(5);
+    r.rename(di);
+    EXPECT_NE(di.physDest, invalidPhysReg);
+    EXPECT_NE(di.physDest, 5);
+    EXPECT_EQ(di.oldPhysDest, 5);
+    EXPECT_EQ(r.mapOf(5), di.physDest);
+}
+
+TEST(Rename, SourcesReadCurrentMapping)
+{
+    RenameUnit r(72, 72);
+    DynInst w = makeOp(7);
+    r.rename(w);
+    DynInst rd = makeOp(8, 7, 7);
+    r.rename(rd);
+    EXPECT_EQ(rd.physSrcs[0], w.physDest);
+    EXPECT_EQ(rd.srcEpochs[0], w.destEpoch);
+}
+
+TEST(Rename, FreeListConservation)
+{
+    RenameUnit r(72, 72);
+    EXPECT_EQ(r.freeIntRegs(), 40u);
+    std::vector<DynInst> ops;
+    for (int i = 0; i < 10; ++i) {
+        ops.push_back(makeOp(static_cast<RegId>(i % 32)));
+        r.rename(ops.back());
+    }
+    EXPECT_EQ(r.freeIntRegs(), 30u);
+    for (auto &op : ops)
+        r.commitFree(op);
+    EXPECT_EQ(r.freeIntRegs(), 40u);
+}
+
+TEST(Rename, ExhaustionDetected)
+{
+    RenameUnit r(34, 34); // only 2 spare per class
+    DynInst a = makeOp(1), b = makeOp(2), c = makeOp(3);
+    EXPECT_TRUE(r.canRename(a));
+    r.rename(a);
+    r.rename(b);
+    EXPECT_FALSE(r.canRename(c));
+    // Non-writing instructions can always rename.
+    DynInst st;
+    st.cls = InstClass::store;
+    st.numSrcs = 2;
+    st.srcs[0] = 0;
+    st.srcs[1] = 1;
+    EXPECT_TRUE(r.canRename(st));
+}
+
+TEST(Rename, SeparateIntFpPools)
+{
+    RenameUnit r(72, 72);
+    DynInst fp;
+    fp.cls = InstClass::fpAlu;
+    fp.numSrcs = 2;
+    fp.srcs[0] = 33;
+    fp.srcs[1] = 34;
+    fp.dest = 40;
+    r.rename(fp);
+    EXPECT_EQ(r.freeIntRegs(), 40u);
+    EXPECT_EQ(r.freeFpRegs(), 39u);
+    EXPECT_GE(fp.physDest, 72);
+}
+
+TEST(Rename, EpochIncrementsPerAllocation)
+{
+    RenameUnit r(34, 34);
+    DynInst a = makeOp(1);
+    r.rename(a);
+    r.commitFree(a); // frees old phys 1
+    // Recycle until the same phys reg comes around.
+    DynInst b = makeOp(1);
+    r.rename(b);
+    EXPECT_GE(b.destEpoch, 1u);
+    if (a.physDest == b.physDest)
+        EXPECT_GT(b.destEpoch, a.destEpoch);
+}
+
+TEST(Rename, CheckpointRestore)
+{
+    RenameUnit r(72, 72);
+    DynInst a = makeOp(5);
+    r.rename(a);
+    r.checkpoint(100);
+    const PhysRegId mapped = r.mapOf(5);
+
+    DynInst wrong1 = makeOp(5), wrong2 = makeOp(6);
+    r.rename(wrong1);
+    r.rename(wrong2);
+    EXPECT_NE(r.mapOf(5), mapped);
+
+    r.restore(100);
+    r.squashFree(wrong1);
+    r.squashFree(wrong2);
+    EXPECT_EQ(r.mapOf(5), mapped);
+    EXPECT_EQ(r.freeIntRegs(), 39u); // only a's allocation outstanding
+    EXPECT_FALSE(r.hasCheckpoint());
+}
+
+TEST(Rename, SquashFreeReturnsAllocated)
+{
+    RenameUnit r(72, 72);
+    DynInst a = makeOp(3);
+    r.rename(a);
+    EXPECT_EQ(r.freeIntRegs(), 39u);
+    r.squashFree(a);
+    EXPECT_EQ(r.freeIntRegs(), 40u);
+}
+
+TEST(Rename, OccupancyCounters)
+{
+    RenameUnit r(72, 72);
+    // Initially only the 32 architectural mappings are live.
+    EXPECT_EQ(r.intRenamesInFlight(), 0u);
+    DynInst a = makeOp(1);
+    r.rename(a);
+    EXPECT_EQ(r.intRenamesInFlight(), 1u);
+}
+
+TEST(Rename, DiscardCheckpointIsIdempotent)
+{
+    RenameUnit r(72, 72);
+    r.checkpoint(5);
+    r.discardCheckpoint();
+    EXPECT_FALSE(r.hasCheckpoint());
+    r.discardCheckpoint();
+    EXPECT_FALSE(r.hasCheckpoint());
+}

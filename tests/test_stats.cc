@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the statistics package: scalars, averages, distributions,
+ * formulas, group nesting, dump formatting and reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+using namespace gals::stats;
+
+TEST(Stats, ScalarOps)
+{
+    StatGroup g("top");
+    Scalar s(&g, "count", "a counter");
+    ++s;
+    s += 4.0;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s = 2.0;
+    EXPECT_DOUBLE_EQ(s.value(), 2.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageMoments)
+{
+    StatGroup g("top");
+    Average a(&g, "lat", "latency");
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 30.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, AverageEmptyIsZero)
+{
+    StatGroup g("top");
+    Average a(&g, "lat", "");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    StatGroup g("top");
+    Distribution d(&g, "d", "", 0.0, 10.0, 5);
+    d.sample(-1);       // underflow
+    d.sample(0);        // bucket 0
+    d.sample(1.9);      // bucket 0
+    d.sample(5.0);      // bucket 2
+    d.sample(10.0);     // overflow (hi-exclusive)
+    d.sample(100, 3);   // overflow x3
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.bucket(0), 2u);
+    EXPECT_EQ(d.bucket(2), 1u);
+    EXPECT_EQ(d.overflow(), 4u);
+    EXPECT_EQ(d.count(), 8u);
+}
+
+TEST(Stats, DistributionMean)
+{
+    StatGroup g("top");
+    Distribution d(&g, "d", "", 0.0, 100.0, 10);
+    d.sample(10);
+    d.sample(30);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatGroup g("top");
+    Scalar a(&g, "a", "");
+    Scalar b(&g, "b", "");
+    Formula f(&g, "ratio", "a per b",
+              [&a, &b] { return b.value() ? a.value() / b.value() : 0; });
+    a = 10;
+    b = 4;
+    EXPECT_DOUBLE_EQ(f.value(), 2.5);
+    b = 5;
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+}
+
+TEST(Stats, GroupNestingAndFullNames)
+{
+    StatGroup top("sim");
+    StatGroup child("cpu", &top);
+    Scalar s(&child, "ipc", "");
+    EXPECT_EQ(s.fullName(), "sim.cpu.ipc");
+}
+
+TEST(Stats, DumpFormat)
+{
+    StatGroup top("sim");
+    Scalar s(&top, "commits", "committed instructions");
+    s = 123;
+    std::ostringstream os;
+    top.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sim.commits"), std::string::npos);
+    EXPECT_NE(out.find("123"), std::string::npos);
+    EXPECT_NE(out.find("# committed instructions"), std::string::npos);
+}
+
+TEST(Stats, DumpRecursesChildren)
+{
+    StatGroup top("sim");
+    StatGroup c1("fetch", &top);
+    StatGroup c2("commit", &top);
+    Scalar s1(&c1, "count", "");
+    Scalar s2(&c2, "count", "");
+    s1 = 1;
+    s2 = 2;
+    std::ostringstream os;
+    top.dump(os);
+    EXPECT_NE(os.str().find("sim.fetch.count"), std::string::npos);
+    EXPECT_NE(os.str().find("sim.commit.count"), std::string::npos);
+}
+
+TEST(Stats, ResetRecurses)
+{
+    StatGroup top("sim");
+    StatGroup child("cpu", &top);
+    Scalar s(&child, "n", "");
+    Average a(&top, "m", "");
+    s = 9;
+    a.sample(5);
+    top.resetStats();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Stats, FindByPath)
+{
+    StatGroup top("sim");
+    StatGroup child("cpu", &top);
+    Scalar s(&child, "ipc", "");
+    EXPECT_EQ(top.find("cpu.ipc"), &s);
+    EXPECT_EQ(top.find("cpu.nope"), nullptr);
+    EXPECT_EQ(top.find("nope.ipc"), nullptr);
+}
+
+TEST(Stats, StatDestructionDeregisters)
+{
+    StatGroup top("sim");
+    {
+        Scalar s(&top, "temp", "");
+        EXPECT_EQ(top.statList().size(), 1u);
+    }
+    EXPECT_TRUE(top.statList().empty());
+    std::ostringstream os;
+    top.dump(os); // must not touch the dead stat
+    EXPECT_TRUE(os.str().empty());
+}

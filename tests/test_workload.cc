@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the synthetic workload: profile table integrity, static
+ * program construction, stream determinism, instruction-mix
+ * convergence, control-flow consistency and wrong-path generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/generator.hh"
+
+using namespace gals;
+
+TEST(Profiles, TableHasAllSuites)
+{
+    EXPECT_EQ(benchmarksInSuite("spec95int").size(), 8u);
+    EXPECT_EQ(benchmarksInSuite("spec95fp").size(), 4u);
+    EXPECT_EQ(benchmarksInSuite("mediabench").size(), 4u);
+}
+
+TEST(Profiles, AllValidate)
+{
+    for (const auto &p : allBenchmarks())
+        p.validate(); // fatal on error
+    SUCCEED();
+}
+
+TEST(Profiles, FindByName)
+{
+    EXPECT_EQ(findBenchmark("gcc").name, "gcc");
+    EXPECT_EQ(findBenchmark("fpppp").suite, "spec95fp");
+}
+
+TEST(Profiles, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto &p : allBenchmarks())
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+}
+
+TEST(Profiles, PaperCitedCharacteristics)
+{
+    // fpppp: ~1 branch per 67 instructions (paper section 5.1).
+    const auto &fpppp = findBenchmark("fpppp");
+    EXPECT_NEAR(fpppp.branchFrac(), 1.0 / 67.0, 0.004);
+    // perl: virtually no floating point (section 5.2).
+    const auto &perl = findBenchmark("perl");
+    EXPECT_EQ(perl.fracFpAlu + perl.fracFpMult + perl.fracFpDiv, 0.0);
+    // ijpeg: very low proportion of memory accesses (section 5.2).
+    const auto &ijpeg = findBenchmark("ijpeg");
+    const auto &gcc = findBenchmark("gcc");
+    EXPECT_LT(ijpeg.fracLoad + ijpeg.fracStore,
+              0.6 * (gcc.fracLoad + gcc.fracStore));
+}
+
+TEST(Generator, DeterministicStream)
+{
+    const auto &p = findBenchmark("gcc");
+    StreamGenerator a(p, 7), b(p, 7);
+    for (int i = 0; i < 5000; ++i) {
+        const GenInst &x = a.next();
+        const GenInst &y = b.next();
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(static_cast<int>(x.cls), static_cast<int>(y.cls));
+        ASSERT_EQ(x.taken, y.taken);
+        ASSERT_EQ(x.memAddr, y.memAddr);
+    }
+}
+
+TEST(Generator, RunSeedChangesDynamics)
+{
+    const auto &p = findBenchmark("gcc");
+    StreamGenerator a(p, 1), b(p, 2);
+    int diff = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const GenInst x = a.next();
+        const GenInst y = b.next();
+        if (x.pc != y.pc || x.taken != y.taken)
+            ++diff;
+    }
+    EXPECT_GT(diff, 0);
+}
+
+TEST(Generator, StaticProgramIsContiguous)
+{
+    StreamGenerator g(findBenchmark("li"), 0);
+    std::uint64_t expect = StreamGenerator::codeBase;
+    for (unsigned b = 0; b < g.numBlocks(); ++b) {
+        EXPECT_EQ(g.blockStartPc(b), expect);
+        expect += g.blockLength(b) * 4;
+    }
+    EXPECT_EQ(g.staticProgramBytes(),
+              expect - StreamGenerator::codeBase);
+}
+
+TEST(Generator, EveryBlockEndsInOneBranch)
+{
+    // Walk the dynamic stream: a branch must always be the last
+    // instruction before a block transition.
+    StreamGenerator g(findBenchmark("compress"), 0);
+    std::uint64_t prev_pc = 0;
+    bool prev_branch = false;
+    bool prev_taken = false;
+    std::uint64_t prev_target = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const GenInst gi = g.next();
+        if (i > 0) {
+            if (prev_branch && prev_taken) {
+                ASSERT_EQ(gi.pc, prev_target);
+            } else {
+                ASSERT_EQ(gi.pc, prev_pc + 4);
+            }
+        }
+        prev_pc = gi.pc;
+        prev_branch = isBranchClass(gi.cls);
+        prev_taken = gi.taken;
+        prev_target = gi.target;
+    }
+}
+
+TEST(Generator, MixConvergesToProfile)
+{
+    const auto &p = findBenchmark("gcc");
+    StreamGenerator g(p, 0);
+    std::map<InstClass, unsigned> counts;
+    const int n = 60000;
+    for (int i = 0; i < n; ++i)
+        ++counts[g.next().cls];
+
+    const double loads = double(counts[InstClass::load]) / n;
+    const double stores = double(counts[InstClass::store]) / n;
+    const double fp = double(counts[InstClass::fpAlu] +
+                             counts[InstClass::fpMult] +
+                             counts[InstClass::fpDiv]) /
+                      n;
+    // Control flow skews the dynamic mix somewhat (loop re-execution),
+    // so use generous bands.
+    EXPECT_NEAR(loads, p.fracLoad, 0.08);
+    EXPECT_NEAR(stores, p.fracStore, 0.05);
+    EXPECT_LT(fp, 0.01); // gcc is integer code
+}
+
+TEST(Generator, FppppBranchDensityIsLow)
+{
+    StreamGenerator g(findBenchmark("fpppp"), 0);
+    unsigned branches = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        if (isBranchClass(g.next().cls))
+            ++branches;
+    // The paper: roughly one branch per 67 instructions.
+    EXPECT_LT(double(branches) / n, 0.05);
+}
+
+TEST(Generator, MemAddrsAreDataSpaceAligned)
+{
+    StreamGenerator g(findBenchmark("swim"), 0);
+    for (int i = 0; i < 20000; ++i) {
+        const GenInst gi = g.next();
+        if (isMemClass(gi.cls)) {
+            EXPECT_GE(gi.memAddr, StreamGenerator::dataBase);
+            EXPECT_EQ(gi.memAddr % 4, 0u);
+        }
+    }
+}
+
+TEST(Generator, BranchSourcesAreIntRegs)
+{
+    StreamGenerator g(findBenchmark("gcc"), 0);
+    for (int i = 0; i < 20000; ++i) {
+        const GenInst gi = g.next();
+        if (gi.cls == InstClass::condBranch) {
+            ASSERT_EQ(gi.numSrcs, 1u);
+            EXPECT_FALSE(isFpReg(gi.srcs[0]));
+        }
+    }
+}
+
+TEST(Generator, FpOpsUseFpRegs)
+{
+    StreamGenerator g(findBenchmark("fpppp"), 0);
+    for (int i = 0; i < 20000; ++i) {
+        const GenInst gi = g.next();
+        if (isFpClass(gi.cls)) {
+            EXPECT_TRUE(isFpReg(gi.dest));
+            for (unsigned s = 0; s < gi.numSrcs; ++s)
+                EXPECT_TRUE(isFpReg(gi.srcs[s]));
+        }
+    }
+}
+
+TEST(Generator, WrongPathReturnsRealCode)
+{
+    StreamGenerator g(findBenchmark("li"), 0);
+    for (int i = 0; i < 100; ++i)
+        g.next();
+    const GenInst wp = g.wrongPath(g.blockStartPc(3) + 4);
+    EXPECT_EQ(wp.pc, g.blockStartPc(3) + 4);
+}
+
+TEST(Generator, WrongPathWrapsPastProgramEnd)
+{
+    StreamGenerator g(findBenchmark("adpcm"), 0);
+    const std::uint64_t beyond =
+        StreamGenerator::codeBase + g.staticProgramBytes() + 64;
+    const GenInst wp = g.wrongPath(beyond);
+    EXPECT_GE(wp.pc, StreamGenerator::codeBase);
+    EXPECT_LT(wp.pc,
+              StreamGenerator::codeBase + g.staticProgramBytes());
+}
+
+TEST(Generator, WrongPathDoesNotPerturbCorrectPath)
+{
+    const auto &p = findBenchmark("gcc");
+    StreamGenerator a(p, 3), b(p, 3);
+    for (int i = 0; i < 1000; ++i) {
+        a.next();
+        b.next();
+    }
+    // Interleave wrong-path fetches on one generator only.
+    for (int i = 0; i < 500; ++i)
+        a.wrongPath(StreamGenerator::codeBase + 4 * i);
+    for (int i = 0; i < 1000; ++i) {
+        const GenInst x = a.next();
+        const GenInst y = b.next();
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.taken, y.taken);
+    }
+}
+
+TEST(Generator, CallsReturnToFallthrough)
+{
+    // After a call's target block eventually rets, control should come
+    // back to the block after the call. Verify via the stream: every
+    // taken ret target equals some prior call's pc + 4 (contiguous
+    // layout makes fallthrough == next block start).
+    StreamGenerator g(findBenchmark("li"), 0);
+    std::set<std::uint64_t> pending_returns;
+    int checked = 0;
+    for (int i = 0; i < 60000 && checked < 50; ++i) {
+        const GenInst gi = g.next();
+        if (gi.cls == InstClass::call)
+            pending_returns.insert(gi.pc + 4);
+        if (gi.cls == InstClass::ret && gi.taken) {
+            EXPECT_TRUE(pending_returns.count(gi.target))
+                << "ret to 0x" << std::hex << gi.target;
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 0);
+}
