@@ -1,56 +1,69 @@
 /**
  * @file
- * Shared helpers for the per-figure bench harnesses: common run
- * parameters (overridable via environment), benchmark set selection
- * and table formatting matching the paper's figures.
+ * Shared helpers for the scenario registrations: figure-header
+ * formatting and the geometric-mean tracker for normalized-ratio
+ * "average" rows. Run parameters now live in runner::SweepOptions
+ * (still overridable via GALSSIM_INSTS / GALSSIM_BENCH, see
+ * SweepOptions::fromEnvironment()).
  */
 
 #ifndef BENCH_BENCH_UTIL_HH
 #define BENCH_BENCH_UTIL_HH
 
+#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "core/experiment.hh"
+#include "runner/scenario.hh"
 
 namespace gals::bench
 {
 
-/** Instructions per run; override with GALSSIM_INSTS. */
-inline std::uint64_t
-runInstructions()
-{
-    if (const char *env = std::getenv("GALSSIM_INSTS"))
-        return std::strtoull(env, nullptr, 10);
-    return 50000;
-}
-
-/** Benchmarks to sweep; override with GALSSIM_BENCH (one name). */
-inline std::vector<std::string>
-runBenchmarks()
-{
-    if (const char *env = std::getenv("GALSSIM_BENCH"))
-        return {std::string(env)};
-    return benchmarkNames();
-}
-
 /** Print the standard figure header. */
 inline void
-figureHeader(const char *fig, const char *what)
+figureHeader(const char *fig, const char *what,
+             const runner::SweepOptions &opts)
 {
     std::printf("==============================================="
                 "=====================\n");
     std::printf("%s: %s\n", fig, what);
     std::printf("instructions per run: %llu\n",
-                static_cast<unsigned long long>(runInstructions()));
+                static_cast<unsigned long long>(opts.instructions));
     std::printf("==============================================="
                 "=====================\n");
 }
 
-/** Geometric-mean helper for "average" rows (ratios). */
+/**
+ * Geometric-mean helper for "average" rows over normalized ratios.
+ * The geometric mean is the right average for ratios (the paper's
+ * relative performance / energy / power rows): it is symmetric under
+ * inversion, where the arithmetic mean systematically overstates.
+ * Tracked as a running sum of logs; values must be positive.
+ */
 class MeanTracker
+{
+  public:
+    void
+    add(double v)
+    {
+        logSum_ += std::log(v);
+        ++n_;
+    }
+    double
+    mean() const
+    {
+        return n_ ? std::exp(logSum_ / n_) : 0.0;
+    }
+
+  private:
+    double logSum_ = 0.0;
+    unsigned n_ = 0;
+};
+
+/** Arithmetic-mean helper for absolute quantities (fractions,
+ *  occupancies) where the geometric mean is not appropriate. */
+class ArithmeticMeanTracker
 {
   public:
     void
@@ -69,6 +82,14 @@ class MeanTracker
     double sum_ = 0.0;
     unsigned n_ = 0;
 };
+
+/** The single benchmark a one-benchmark scenario targets: the first
+ *  requested benchmark, or @p fallback when the sweep is unrestricted. */
+inline std::string
+primaryBenchmark(const runner::SweepOptions &opts, const char *fallback)
+{
+    return opts.benchmarks.empty() ? fallback : opts.benchmarks.front();
+}
 
 } // namespace gals::bench
 

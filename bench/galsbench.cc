@@ -1,0 +1,191 @@
+/**
+ * @file
+ * galsbench — the one CLI for every experiment in this repo.
+ *
+ * Replaces the former 15 hand-rolled bench drivers: each paper
+ * figure, ablation and sweep is a registered Scenario; galsbench
+ * expands the chosen scenarios into their run grids, executes them on
+ * the parallel ExperimentEngine, and renders the results either as
+ * the paper-style tables (default) or as raw JSON-lines / CSV
+ * records.
+ *
+ * Usage:
+ *   galsbench --list
+ *   galsbench --scenario fig05 [--scenario fig09 ...] | --all
+ *             [--jobs N] [--format table|json|csv]
+ *             [--insts N] [--bench NAME] [--seed N]
+ *
+ * Environment: GALSSIM_INSTS and GALSSIM_BENCH provide defaults for
+ * --insts / --bench (the knobs the old drivers honoured).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/register_all.hh"
+#include "runner/engine.hh"
+#include "runner/reporter.hh"
+#include "runner/scenario.hh"
+
+using namespace gals;
+using namespace gals::runner;
+
+namespace
+{
+
+void
+usage(std::FILE *to, int exitCode)
+{
+    std::fprintf(
+        to,
+        "usage: galsbench --list\n"
+        "       galsbench (--scenario NAME)... | --all\n"
+        "                 [--jobs N] [--format table|json|csv]\n"
+        "                 [--insts N] [--bench NAME] [--seed N]\n"
+        "\n"
+        "  --list          list registered scenarios and exit\n"
+        "  --scenario NAME run one scenario (repeatable)\n"
+        "  --all           run every registered scenario\n"
+        "  --jobs N        worker threads (0 = all hardware threads;\n"
+        "                  default 1; results are identical for any "
+        "N)\n"
+        "  --format F      table (default), json or csv\n"
+        "  --insts N       instructions per run (or GALSSIM_INSTS)\n"
+        "  --bench NAME    restrict the benchmark sweep (repeatable,\n"
+        "                  or GALSSIM_BENCH)\n"
+        "  --seed N        workload seed (default 0)\n");
+    std::exit(exitCode);
+}
+
+const char *
+argValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "galsbench: %s needs a value\n", argv[i]);
+        usage(stderr, 2);
+    }
+    return argv[++i];
+}
+
+std::uint64_t
+numericValue(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "galsbench: %s expects a number, got "
+                             "'%s'\n",
+                     flag, text);
+        usage(stderr, 2);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ScenarioRegistry registry;
+    bench::registerAllScenarios(registry);
+
+    SweepOptions opts = SweepOptions::fromEnvironment();
+    std::vector<std::string> selected, cliBenchmarks;
+    bool listOnly = false, runAll = false;
+    unsigned jobs = 1;
+    OutputFormat format = OutputFormat::table;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--list")) {
+            listOnly = true;
+        } else if (!std::strcmp(arg, "--all")) {
+            runAll = true;
+        } else if (!std::strcmp(arg, "--scenario")) {
+            selected.push_back(argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--jobs")) {
+            jobs = static_cast<unsigned>(
+                numericValue("--jobs", argValue(argc, argv, i)));
+        } else if (!std::strcmp(arg, "--format")) {
+            format = parseOutputFormat(argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--insts")) {
+            opts.instructions =
+                numericValue("--insts", argValue(argc, argv, i));
+            if (opts.instructions == 0) {
+                std::fprintf(stderr,
+                             "galsbench: --insts must be > 0\n");
+                return 2;
+            }
+        } else if (!std::strcmp(arg, "--bench")) {
+            cliBenchmarks.push_back(argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--seed")) {
+            opts.seed =
+                numericValue("--seed", argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--help") ||
+                   !std::strcmp(arg, "-h")) {
+            usage(stdout, 0);
+        } else {
+            std::fprintf(stderr, "galsbench: unknown argument '%s'\n",
+                         arg);
+            usage(stderr, 2);
+        }
+    }
+
+    // Explicit --bench flags override the GALSSIM_BENCH default.
+    if (!cliBenchmarks.empty())
+        opts.benchmarks = std::move(cliBenchmarks);
+
+    if (listOnly) {
+        std::printf("%-16s %-14s %s\n", "name", "figure",
+                    "description");
+        for (const Scenario &s : registry.all())
+            std::printf("%-16s %-14s %s\n", s.name.c_str(),
+                        s.figure.c_str(), s.description.c_str());
+        return 0;
+    }
+
+    if (runAll) {
+        // --all replaces any --scenario picks (no duplicate runs).
+        selected.clear();
+        for (const Scenario &s : registry.all())
+            selected.push_back(s.name);
+    }
+
+    if (selected.empty()) {
+        std::fprintf(stderr,
+                     "galsbench: no scenario selected (try --list)\n");
+        usage(stderr, 2);
+    }
+
+    const ExperimentEngine engine(jobs);
+    for (const std::string &name : selected) {
+        const Scenario *scenario = registry.find(name);
+        if (!scenario) {
+            std::fprintf(stderr,
+                         "galsbench: unknown scenario '%s' (try "
+                         "--list)\n",
+                         name.c_str());
+            return 2;
+        }
+
+        const std::vector<RunConfig> runs = scenario->makeRuns(opts);
+        const std::vector<RunResults> results = engine.run(runs);
+
+        switch (format) {
+          case OutputFormat::table:
+            scenario->reduce(opts, results);
+            break;
+          case OutputFormat::json:
+            writeJsonLines(std::cout, scenario->name, runs, results);
+            break;
+          case OutputFormat::csv:
+            writeCsv(std::cout, scenario->name, runs, results);
+            break;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,27 @@
+#include "bench/register_all.hh"
+
+namespace gals::bench
+{
+
+void
+registerAllScenarios(runner::ScenarioRegistry &reg)
+{
+    reg.add(fig05Scenario());
+    reg.add(fig06Scenario());
+    reg.add(fig07Scenario());
+    reg.add(fig08Scenario());
+    reg.add(fig09Scenario());
+    reg.add(fig10Scenario());
+    reg.add(fig11Scenario());
+    reg.add(fig12Scenario());
+    reg.add(fig13Scenario());
+    reg.add(table1Scenario());
+    reg.add(phaseSensitivityScenario());
+    reg.add(ablationFifoScenario());
+    reg.add(ablationDynamicDvfsScenario());
+    reg.add(quickstartScenario());
+    reg.add(suiteScenario());
+    reg.add(dvfsExplorerScenario());
+}
+
+} // namespace gals::bench

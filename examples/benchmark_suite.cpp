@@ -2,81 +2,43 @@
  * @file
  * Run every shipped benchmark on the base and GALS processors and
  * print a full comparison table plus the base processor's energy
- * breakdown — a compact view of everything the paper measures.
+ * breakdown. Thin driver over the "suite" scenario —
+ * `galsbench --scenario suite` is equivalent.
  *
  * Usage: benchmark_suite [instructions] [suite|benchmark ...]
  */
 
-#include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <vector>
 
-#include "core/experiment.hh"
+#include "bench/register_all.hh"
+#include "runner/engine.hh"
 
 using namespace gals;
+using namespace gals::runner;
 
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t insts =
+    SweepOptions opts;
+    opts.instructions =
         argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50000;
 
-    std::vector<std::string> names;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto in_suite = benchmarksInSuite(arg);
         if (!in_suite.empty())
             for (const auto &p : in_suite)
-                names.push_back(p.name);
+                opts.benchmarks.push_back(p.name);
         else
-            names.push_back(arg);
+            opts.benchmarks.push_back(arg);
     }
-    if (names.empty())
-        names = benchmarkNames();
 
-    std::printf("%-10s %6s %6s | %5s %5s %5s | %5s %5s | %5s %5s | "
-                "%5s %5s\n",
-                "bench", "ipcB", "ipcG", "perf", "enrgy", "power",
-                "slipB", "slipG", "wpB%", "wpG%", "accB", "dl1B%");
+    ScenarioRegistry registry;
+    bench::registerAllScenarios(registry);
+    const Scenario &scenario = *registry.find("suite");
 
-    double sum_perf = 0, sum_e = 0, sum_p = 0, sum_slip = 0;
-    for (const auto &name : names) {
-        const PairResults pr = runPair(name, insts);
-        const auto &b = pr.base;
-        const auto &g = pr.galsRun;
-        std::printf("%-10s %6.3f %6.3f | %5.3f %5.3f %5.3f | "
-                    "%5.1f %5.1f | %5.2f %5.2f | %5.3f %5.2f\n",
-                    name.c_str(), b.ipcNominal, g.ipcNominal,
-                    g.ipcNominal / b.ipcNominal, pr.energyRatio(),
-                    pr.powerRatio(), b.avgSlipCycles, g.avgSlipCycles,
-                    100 * b.misspecFraction, 100 * g.misspecFraction,
-                    b.dirAccuracy, 100 * b.dl1MissRate);
-        sum_perf += g.ipcNominal / b.ipcNominal;
-        sum_e += pr.energyRatio();
-        sum_p += pr.powerRatio();
-        sum_slip += pr.slipRatio();
-    }
-    const double n = static_cast<double>(names.size());
-    std::printf("%-10s %6s %6s | %5.3f %5.3f %5.3f | avg slip ratio "
-                "%.2f\n",
-                "AVG", "", "", sum_perf / n, sum_e / n, sum_p / n,
-                sum_slip / n);
-
-    // Base-processor energy breakdown for the first benchmark.
-    RunConfig rc;
-    rc.benchmark = names.front();
-    rc.instructions = insts;
-    const RunResults r = runOne(rc);
-    double total = 0;
-    for (const auto &[unit, nj] : r.unitEnergyNj)
-        total += nj;
-    std::printf("\nenergy breakdown, base, %s (total %.3f mJ, "
-                "%.1f W):\n",
-                names.front().c_str(), total * 1e-6, r.avgPowerW);
-    for (const auto &[unit, nj] : r.unitEnergyNj)
-        if (nj > 0)
-            std::printf("  %-14s %8.3f mJ  %5.1f%%\n", unit.c_str(),
-                        nj * 1e-6, 100.0 * nj / total);
+    const ExperimentEngine engine(0); // all hardware threads
+    scenario.reduce(opts, engine.run(scenario.makeRuns(opts)));
     return 0;
 }

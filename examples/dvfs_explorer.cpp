@@ -2,98 +2,34 @@
  * @file
  * DVFS design-space explorer: sweeps per-domain clock slowdowns for
  * one benchmark on the GALS processor and prints the performance /
- * energy / power frontier, with the ideal uniform-voltage-scaling
- * bound for reference — the methodology behind the paper's section 5.2
- * ("we tried to determine which parts of the processor could be slowed
- * down in an application-dependent manner").
+ * energy / power frontier with the ideal voltage-scaling bound.
+ * Thin driver over the "dvfs-explorer" scenario —
+ * `galsbench --scenario dvfs-explorer` is equivalent.
  *
  * Usage: dvfs_explorer [benchmark] [instructions]
  */
 
-#include <cstdio>
 #include <cstdlib>
-#include <string>
 
-#include "core/experiment.hh"
-#include "dvfs/dvfs_policy.hh"
+#include "bench/register_all.hh"
+#include "runner/engine.hh"
 
 using namespace gals;
-
-namespace
-{
-
-void
-runPoint(const std::string &bench, std::uint64_t insts,
-         const std::string &label, const DvfsSetting &setting,
-         const RunResults &base)
-{
-    RunConfig rc;
-    rc.benchmark = bench;
-    rc.instructions = insts;
-    rc.gals = true;
-    rc.dvfs = setting;
-    const RunResults g = runOne(rc);
-
-    const double perf = g.ipcNominal / base.ipcNominal;
-    const double energy = g.energyJ / base.energyJ;
-    const double power = g.avgPowerW / base.avgPowerW;
-    const IdealScaling ideal = idealScalingForPerf(perf, defaultTech());
-
-    std::printf("%-22s %8.3f %8.3f %8.3f %8.3f %s\n", label.c_str(),
-                perf, energy, power, ideal.energyFactor,
-                energy < ideal.energyFactor + 0.03 ? "(near-ideal)"
-                                                   : "");
-}
-
-} // namespace
+using namespace gals::runner;
 
 int
 main(int argc, char **argv)
 {
-    const std::string bench = argc > 1 ? argv[1] : "gcc";
-    const std::uint64_t insts =
+    SweepOptions opts;
+    opts.benchmarks = {argc > 1 ? argv[1] : "gcc"};
+    opts.instructions =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 40000;
 
-    std::printf("DVFS explorer: %s, %llu instructions (base = fully "
-                "synchronous at nominal clock/voltage)\n\n",
-                bench.c_str(), static_cast<unsigned long long>(insts));
+    ScenarioRegistry registry;
+    bench::registerAllScenarios(registry);
+    const Scenario &scenario = *registry.find("dvfs-explorer");
 
-    RunConfig rb;
-    rb.benchmark = bench;
-    rb.instructions = insts;
-    const RunResults base = runOne(rb);
-    std::printf("base: ipc %.3f, %.2f W\n\n", base.ipcNominal,
-                base.avgPowerW);
-
-    std::printf("%-22s %8s %8s %8s %8s\n", "configuration", "perf",
-                "energy", "power", "ideal");
-
-    runPoint(bench, insts, "gals nominal", DvfsSetting(), base);
-
-    // Single-domain sweeps.
-    for (const DomainId d : {DomainId::fetch, DomainId::fpd,
-                             DomainId::memd, DomainId::intd}) {
-        for (const double pct : {20.0, 50.0}) {
-            DvfsSetting s;
-            s.slowdown[domainIndex(d)] = slowdownFromPercent(pct);
-            runPoint(bench, insts,
-                     std::string(domainName(d)) + " -" +
-                         std::to_string(static_cast<int>(pct)) + "%",
-                     s, base);
-        }
-    }
-
-    // The paper's named policies.
-    runPoint(bench, insts, "paper generic (fig11)",
-             genericSlowdownPolicy().setting, base);
-    runPoint(bench, insts, "paper gals-1 (fig13)",
-             gccFpPolicy(1).setting, base);
-    runPoint(bench, insts, "paper gals-2 (fig13)",
-             gccFpPolicy(2).setting, base);
-
-    std::printf("\n'ideal' = synchronous core slowed uniformly to the "
-                "same performance with voltage per eq. 1 "
-                "(alpha = %.1f)\n",
-                defaultTech().alpha);
+    const ExperimentEngine engine(0); // all hardware threads
+    scenario.reduce(opts, engine.run(scenario.makeRuns(opts)));
     return 0;
 }

@@ -1,9 +1,19 @@
 #include "core/experiment.hh"
 
+#include <memory>
+
+#include "dvfs/controller.hh"
 #include "sim/logging.hh"
 
 namespace gals
 {
+
+std::uint64_t
+effectivePhaseSeed(const RunConfig &cfg)
+{
+    return cfg.phaseSeed == phaseSeedFollowsWorkload ? cfg.seed
+                                                     : cfg.phaseSeed;
+}
 
 RunResults
 runOne(const RunConfig &cfg)
@@ -13,12 +23,28 @@ runOne(const RunConfig &cfg)
     ProcessorConfig pc = cfg.proc;
     pc.gals = cfg.gals;
     pc.dvfs = cfg.gals ? cfg.dvfs : DvfsSetting();
-    pc.phaseSeed =
-        cfg.phaseSeed == ~std::uint64_t(0) ? cfg.seed : cfg.phaseSeed;
+    pc.phaseSeed = effectivePhaseSeed(cfg);
 
     EventQueue eq("eq." + cfg.benchmark);
     Processor proc(eq, pc, profile, cfg.seed);
+
+    // The online controller discovers per-domain utilization and
+    // retunes clock/voltage while the run progresses; it manages the
+    // FP domain (the paper's section 5.2 examples all slow the FP
+    // clock) — fetch/memory issue slots are a poor utilization proxy
+    // because loads are latency-critical.
+    std::unique_ptr<DynamicDvfsController> ctrl;
+    if (cfg.dynamicDvfs) {
+        ctrl = std::make_unique<DynamicDvfsController>(eq, pc.tech);
+        ctrl->manage(proc.domain(DomainId::fpd),
+                     [&proc] { return proc.fpCluster().issued(); },
+                     pc.core.fpIssueWidth);
+        ctrl->start();
+    }
+
     proc.run(cfg.instructions);
+    if (ctrl)
+        ctrl->stop();
 
     RunResults r;
     r.benchmark = cfg.benchmark;
@@ -76,6 +102,16 @@ runOne(const RunConfig &cfg)
     r.l2MissRate = proc.caches().l2().missRate();
 
     return r;
+}
+
+std::vector<RunResults>
+runMany(const std::vector<RunConfig> &cfgs)
+{
+    std::vector<RunResults> results;
+    results.reserve(cfgs.size());
+    for (const RunConfig &cfg : cfgs)
+        results.push_back(runOne(cfg));
+    return results;
 }
 
 PairResults

@@ -10,12 +10,20 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/processor.hh"
 #include "workload/profile.hh"
 
 namespace gals
 {
+
+/**
+ * Sentinel for RunConfig::phaseSeed: the clock-phase seed follows the
+ * workload seed, so re-running the same config reproduces both the
+ * instruction stream and the clock phases.
+ */
+constexpr std::uint64_t phaseSeedFollowsWorkload = ~std::uint64_t(0);
 
 /** One simulation to run. */
 struct RunConfig
@@ -25,12 +33,23 @@ struct RunConfig
     bool gals = false;
     DvfsSetting dvfs;          ///< applied in GALS mode only
     std::uint64_t seed = 0;    ///< workload seed
-    /** Clock-phase seed; defaults to the workload seed. Set it
+    /** Clock-phase seed; defaults to the workload seed (see
+     *  phaseSeedFollowsWorkload / effectivePhaseSeed()). Set it
      *  independently to vary phases over an identical instruction
      *  stream (the section 5.1 phase-sensitivity experiment). */
-    std::uint64_t phaseSeed = ~std::uint64_t(0);
+    std::uint64_t phaseSeed = phaseSeedFollowsWorkload;
+    /** Online application-driven DVFS on the FP domain (the paper's
+     *  section 6 future direction); only meaningful with gals=true. */
+    bool dynamicDvfs = false;
     ProcessorConfig proc;      ///< gals/dvfs fields are overridden
 };
+
+/**
+ * Resolve the phase seed of a run: @p cfg.phaseSeed, unless it is the
+ * phaseSeedFollowsWorkload sentinel, in which case the workload seed.
+ * The single point where the sentinel is interpreted.
+ */
+std::uint64_t effectivePhaseSeed(const RunConfig &cfg);
 
 /** Everything measured in one run. */
 struct RunResults
@@ -85,6 +104,14 @@ struct RunResults
 
 /** Execute one run. */
 RunResults runOne(const RunConfig &cfg);
+
+/**
+ * Execute a batch of runs serially; results[i] belongs to cfgs[i].
+ * The parallel counterpart is runner::ExperimentEngine, which yields
+ * element-wise identical results (each run owns its EventQueue and
+ * Processor, so runs are independent).
+ */
+std::vector<RunResults> runMany(const std::vector<RunConfig> &cfgs);
 
 /** A matched base/GALS pair on the same workload. */
 struct PairResults

@@ -1,0 +1,74 @@
+#include "runner/engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace gals::runner
+{
+
+ExperimentEngine::ExperimentEngine(unsigned jobs)
+    : jobs_(jobs == 0 ? hardwareJobs() : jobs)
+{
+}
+
+unsigned
+ExperimentEngine::hardwareJobs()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::vector<RunResults>
+ExperimentEngine::run(const std::vector<RunConfig> &cfgs) const
+{
+    if (jobs_ <= 1 || cfgs.size() <= 1)
+        return runMany(cfgs);
+
+    std::vector<RunResults> results(cfgs.size());
+    std::atomic<std::size_t> next{0};
+
+    // A worker exception must not escape its thread (std::terminate);
+    // capture the first failure and re-raise it after the join.
+    std::mutex errorMutex;
+    std::string firstError;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= cfgs.size())
+                return;
+            try {
+                results[i] = runOne(cfgs[i]);
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (firstError.empty())
+                    firstError = e.what();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (firstError.empty())
+                    firstError = "unknown exception";
+            }
+        }
+    };
+
+    const unsigned nThreads = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, cfgs.size()));
+    std::vector<std::thread> threads;
+    threads.reserve(nThreads);
+    for (unsigned t = 0; t < nThreads; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+
+    if (!firstError.empty())
+        gals_fatal("experiment worker failed: ", firstError);
+    return results;
+}
+
+} // namespace gals::runner

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Thread-pool executor for experiment grids.
+ *
+ * Every RunConfig is an independent simulation — it owns its
+ * EventQueue, Processor, caches and energy accounts — so a sweep is
+ * embarrassingly parallel. The engine fans a batch out over worker
+ * threads and stores each result at its config's index, so the output
+ * is deterministic and element-wise identical to the serial runMany()
+ * regardless of the job count or scheduling order.
+ */
+
+#ifndef RUNNER_ENGINE_HH
+#define RUNNER_ENGINE_HH
+
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace gals::runner
+{
+
+/** Parallel experiment executor. */
+class ExperimentEngine
+{
+  public:
+    /** @param jobs worker threads; 0 picks the hardware thread
+     *  count, 1 degenerates to the serial runMany(). */
+    explicit ExperimentEngine(unsigned jobs = 1);
+
+    /** Run the batch; results[i] belongs to cfgs[i]. */
+    std::vector<RunResults> run(const std::vector<RunConfig> &cfgs) const;
+
+    unsigned jobs() const { return jobs_; }
+
+    /** Hardware thread count (at least 1). */
+    static unsigned hardwareJobs();
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace gals::runner
+
+#endif // RUNNER_ENGINE_HH

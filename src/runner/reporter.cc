@@ -1,0 +1,167 @@
+#include "runner/reporter.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace gals::runner
+{
+
+namespace
+{
+
+/** Round-trip-exact double rendering (shortest form, %.17g). */
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+num(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+/** The scalar metrics every reporter emits, in column order. */
+struct MetricColumn
+{
+    const char *name;
+    std::string (*get)(const RunResults &);
+};
+
+const MetricColumn metricColumns[] = {
+    {"committed", [](const RunResults &r) { return num(r.committed); }},
+    {"fetched", [](const RunResults &r) { return num(r.fetched); }},
+    {"wrong_path_fetched",
+     [](const RunResults &r) { return num(r.wrongPathFetched); }},
+    {"ticks", [](const RunResults &r) { return num(r.ticks); }},
+    {"time_sec", [](const RunResults &r) { return num(r.timeSec); }},
+    {"ipc_nominal",
+     [](const RunResults &r) { return num(r.ipcNominal); }},
+    {"energy_j", [](const RunResults &r) { return num(r.energyJ); }},
+    {"avg_power_w",
+     [](const RunResults &r) { return num(r.avgPowerW); }},
+    {"fifo_events",
+     [](const RunResults &r) { return num(r.fifoEvents); }},
+    {"avg_slip_cycles",
+     [](const RunResults &r) { return num(r.avgSlipCycles); }},
+    {"avg_fifo_slip_cycles",
+     [](const RunResults &r) { return num(r.avgFifoSlipCycles); }},
+    {"misspec_fraction",
+     [](const RunResults &r) { return num(r.misspecFraction); }},
+    {"mispredicts_per_k",
+     [](const RunResults &r) { return num(r.mispredictsPerKCommitted); }},
+    {"dir_accuracy",
+     [](const RunResults &r) { return num(r.dirAccuracy); }},
+    {"avg_rob_occ", [](const RunResults &r) { return num(r.avgRobOcc); }},
+    {"avg_int_renames",
+     [](const RunResults &r) { return num(r.avgIntRenames); }},
+    {"avg_fp_renames",
+     [](const RunResults &r) { return num(r.avgFpRenames); }},
+    {"int_iq_occ", [](const RunResults &r) { return num(r.intIQOcc); }},
+    {"fp_iq_occ", [](const RunResults &r) { return num(r.fpIQOcc); }},
+    {"mem_iq_occ", [](const RunResults &r) { return num(r.memIQOcc); }},
+    {"il1_miss_rate",
+     [](const RunResults &r) { return num(r.il1MissRate); }},
+    {"dl1_miss_rate",
+     [](const RunResults &r) { return num(r.dl1MissRate); }},
+    {"l2_miss_rate",
+     [](const RunResults &r) { return num(r.l2MissRate); }},
+};
+
+void
+checkSizes(const std::vector<RunConfig> &cfgs,
+           const std::vector<RunResults> &results)
+{
+    gals_assert(cfgs.size() == results.size(),
+                "reporter: ", cfgs.size(), " configs vs ",
+                results.size(), " results");
+}
+
+} // namespace
+
+OutputFormat
+parseOutputFormat(const std::string &name)
+{
+    if (name == "table")
+        return OutputFormat::table;
+    if (name == "json")
+        return OutputFormat::json;
+    if (name == "csv")
+        return OutputFormat::csv;
+    gals_fatal("unknown output format '", name,
+               "' (expected table, json or csv)");
+}
+
+void
+writeJsonLines(std::ostream &os, const std::string &scenario,
+               const std::vector<RunConfig> &cfgs,
+               const std::vector<RunResults> &results)
+{
+    checkSizes(cfgs, results);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunConfig &c = cfgs[i];
+        const RunResults &r = results[i];
+        os << "{\"scenario\":\"" << scenario << "\""
+           << ",\"index\":" << i
+           << ",\"benchmark\":\"" << r.benchmark << "\""
+           << ",\"gals\":" << (r.gals ? "true" : "false")
+           << ",\"dynamic_dvfs\":" << (c.dynamicDvfs ? "true" : "false")
+           << ",\"instructions\":" << num(c.instructions)
+           << ",\"seed\":" << num(c.seed)
+           << ",\"phase_seed\":" << num(effectivePhaseSeed(c));
+        for (const MetricColumn &col : metricColumns)
+            os << ",\"" << col.name << "\":" << col.get(r);
+        os << ",\"energy_nj\":{";
+        bool first = true;
+        for (const auto &[unit, nj] : r.unitEnergyNj) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "\"" << unit << "\":" << num(nj);
+        }
+        os << "}}\n";
+    }
+}
+
+void
+writeCsv(std::ostream &os, const std::string &scenario,
+         const std::vector<RunConfig> &cfgs,
+         const std::vector<RunResults> &results)
+{
+    checkSizes(cfgs, results);
+
+    os << "scenario,index,benchmark,gals,dynamic_dvfs,instructions,"
+          "seed,phase_seed";
+    for (const MetricColumn &col : metricColumns)
+        os << "," << col.name;
+    // Unit-energy columns from the first record; every run reports
+    // the same unit set (the Unit enum).
+    if (!results.empty())
+        for (const auto &[unit, nj] : results.front().unitEnergyNj)
+            os << ",energy_nj." << unit;
+    os << "\n";
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunConfig &c = cfgs[i];
+        const RunResults &r = results[i];
+        os << scenario << "," << i << "," << r.benchmark << ","
+           << (r.gals ? 1 : 0) << "," << (c.dynamicDvfs ? 1 : 0) << ","
+           << num(c.instructions) << "," << num(c.seed) << ","
+           << num(effectivePhaseSeed(c));
+        for (const MetricColumn &col : metricColumns)
+            os << "," << col.get(r);
+        for (const auto &[unit, nj] : r.unitEnergyNj)
+            os << "," << num(nj);
+        os << "\n";
+    }
+}
+
+} // namespace gals::runner

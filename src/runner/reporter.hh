@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Machine-readable reporters for experiment sweeps.
+ *
+ * The scenarios' own reduce() steps print the paper-style tables; the
+ * reporters here emit the raw per-run records instead — one JSON
+ * object per line, or CSV with a header row — for trajectory files
+ * and downstream analysis. Doubles are printed round-trip exact, so
+ * serial and parallel runs of the same grid produce byte-identical
+ * output.
+ */
+
+#ifndef RUNNER_REPORTER_HH
+#define RUNNER_REPORTER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace gals::runner
+{
+
+/** How a sweep's results are rendered. */
+enum class OutputFormat
+{
+    table, ///< the scenario's own human-readable reduce()
+    json,  ///< one JSON object per run, one per line
+    csv,   ///< header row + one CSV row per run
+};
+
+/** Parse "table" / "json" / "csv"; fatal on anything else. */
+OutputFormat parseOutputFormat(const std::string &name);
+
+/** Emit one JSON object per run (JSON-lines). */
+void writeJsonLines(std::ostream &os, const std::string &scenario,
+                    const std::vector<RunConfig> &cfgs,
+                    const std::vector<RunResults> &results);
+
+/** Emit a CSV table, one row per run, unit energies flattened into
+ *  energy_nj.<unit> columns. */
+void writeCsv(std::ostream &os, const std::string &scenario,
+              const std::vector<RunConfig> &cfgs,
+              const std::vector<RunResults> &results);
+
+} // namespace gals::runner
+
+#endif // RUNNER_REPORTER_HH

@@ -1,0 +1,78 @@
+#include "runner/scenario.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace gals::runner
+{
+
+std::vector<std::string>
+SweepOptions::benchmarkSet() const
+{
+    return benchmarks.empty() ? benchmarkNames() : benchmarks;
+}
+
+SweepOptions
+SweepOptions::fromEnvironment()
+{
+    SweepOptions opts;
+    if (const char *env = std::getenv("GALSSIM_INSTS"))
+        opts.instructions = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("GALSSIM_BENCH"))
+        opts.benchmarks = {std::string(env)};
+    return opts;
+}
+
+void
+ScenarioRegistry::add(Scenario s)
+{
+    if (s.name.empty())
+        gals_fatal("scenario registered without a name");
+    if (find(s.name))
+        gals_fatal("scenario '", s.name, "' registered twice");
+    scenarios_.push_back(std::move(s));
+}
+
+const Scenario *
+ScenarioRegistry::find(const std::string &name) const
+{
+    for (const Scenario &s : scenarios_)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+void
+appendPair(std::vector<RunConfig> &runs, const std::string &benchmark,
+           std::uint64_t instructions, const DvfsSetting &galsDvfs,
+           std::uint64_t seed, const ProcessorConfig &proc)
+{
+    RunConfig base;
+    base.benchmark = benchmark;
+    base.instructions = instructions;
+    base.gals = false;
+    base.seed = seed;
+    base.proc = proc;
+
+    RunConfig galsCfg = base;
+    galsCfg.gals = true;
+    galsCfg.dvfs = galsDvfs;
+
+    runs.push_back(std::move(base));
+    runs.push_back(std::move(galsCfg));
+}
+
+PairResults
+pairAt(const std::vector<RunResults> &results, std::size_t i)
+{
+    gals_assert(2 * i + 1 < results.size(),
+                "pairAt(", i, ") out of range (", results.size(),
+                " results)");
+    PairResults pr;
+    pr.base = results[2 * i];
+    pr.galsRun = results[2 * i + 1];
+    return pr;
+}
+
+} // namespace gals::runner

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Declarative experiment scenarios.
+ *
+ * Every paper figure, ablation and sweep in this repo is a grid of
+ * independent simulations. A Scenario captures one such grid
+ * declaratively: a function expanding sweep options into the flat list
+ * of RunConfigs, and a reduce step that turns the finished RunResults
+ * back into the figure's human-readable report. The ExperimentEngine
+ * runs the grid (serially or across a thread pool); reporters can also
+ * emit the raw per-run records as JSON lines or CSV.
+ *
+ * The ScenarioRegistry is a plain container — registrations are
+ * explicit (bench/register_all.cc), not static-initializer magic, so
+ * the set of scenarios is deterministic and testable.
+ */
+
+#ifndef RUNNER_SCENARIO_HH
+#define RUNNER_SCENARIO_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace gals::runner
+{
+
+/** Sweep-wide knobs every scenario expands against. */
+struct SweepOptions
+{
+    /** Instructions per run. */
+    std::uint64_t instructions = 50000;
+
+    /** Benchmarks to sweep; empty means the scenario's default set
+     *  (usually all shipped benchmarks). */
+    std::vector<std::string> benchmarks;
+
+    /** Workload seed for every run. */
+    std::uint64_t seed = 0;
+
+    /** The benchmark sweep set: @ref benchmarks, or all shipped
+     *  benchmarks when empty. */
+    std::vector<std::string> benchmarkSet() const;
+
+    /**
+     * Defaults from the environment, honouring the knobs the
+     * hand-rolled bench drivers always supported: GALSSIM_INSTS
+     * (instructions per run) and GALSSIM_BENCH (restrict the sweep to
+     * one benchmark).
+     */
+    static SweepOptions fromEnvironment();
+};
+
+/** One declarative experiment: a run grid plus its report. */
+struct Scenario
+{
+    /** CLI key, e.g. "fig05". */
+    std::string name;
+
+    /** Display title, e.g. "Figure 5". */
+    std::string figure;
+
+    /** One-line summary for `galsbench --list`. */
+    std::string description;
+
+    /** Expand the sweep into independent runs. May be empty for
+     *  pure-literature scenarios (Table 1). */
+    std::function<std::vector<RunConfig>(const SweepOptions &)> makeRuns;
+
+    /** Turn finished results (same order as makeRuns) into the
+     *  figure's report on stdout. */
+    std::function<void(const SweepOptions &,
+                       const std::vector<RunResults> &)>
+        reduce;
+};
+
+/** Named collection of scenarios, in registration order. */
+class ScenarioRegistry
+{
+  public:
+    /** Register a scenario; fatal on a duplicate or empty name. */
+    void add(Scenario s);
+
+    /** Look up by name; nullptr if absent. */
+    const Scenario *find(const std::string &name) const;
+
+    const std::vector<Scenario> &all() const { return scenarios_; }
+    std::size_t size() const { return scenarios_.size(); }
+
+  private:
+    std::vector<Scenario> scenarios_;
+};
+
+/** @name Pair-sweep helpers
+ *
+ * Most figures compare a base/GALS pair per sweep point. These helpers
+ * fix the convention: appendPair() pushes the base config then the
+ * GALS config, so pair i lives at results[2i] / results[2i+1], which
+ * pairAt() reassembles.
+ */
+/// @{
+
+/** Append a base/GALS config pair for one sweep point. */
+void appendPair(std::vector<RunConfig> &runs,
+                const std::string &benchmark,
+                std::uint64_t instructions,
+                const DvfsSetting &galsDvfs = DvfsSetting(),
+                std::uint64_t seed = 0,
+                const ProcessorConfig &proc = ProcessorConfig());
+
+/** Reassemble pair @p i from a flat appendPair()-built result list. */
+PairResults pairAt(const std::vector<RunResults> &results,
+                   std::size_t i);
+
+/// @}
+
+} // namespace gals::runner
+
+#endif // RUNNER_SCENARIO_HH

@@ -7,7 +7,7 @@ namespace gals
 namespace logging_detail
 {
 
-unsigned long warnCount = 0;
+std::atomic<unsigned long> warnCount{0};
 
 void
 panicImpl(const char *file, int line, const std::string &msg)

@@ -15,6 +15,7 @@
 #ifndef SIM_LOGGING_HH
 #define SIM_LOGGING_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -43,8 +44,9 @@ concat(Args &&...args)
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
-/** Count of warn() calls, exposed for tests. */
-extern unsigned long warnCount;
+/** Count of warn() calls, exposed for tests; atomic because runs may
+ *  warn concurrently under the parallel ExperimentEngine. */
+extern std::atomic<unsigned long> warnCount;
 
 } // namespace logging_detail
 

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the ExperimentEngine / ScenarioRegistry layer: the
+ * parallel executor must be element-wise identical to the serial
+ * batch (every run is an independent simulation), the registry must
+ * carry every former bench driver, the phaseSeed sentinel must follow
+ * the workload seed, and the ratio-average helper must be a true
+ * geometric mean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench/bench_util.hh"
+#include "bench/register_all.hh"
+#include "runner/engine.hh"
+#include "runner/reporter.hh"
+#include "runner/scenario.hh"
+
+using namespace gals;
+using namespace gals::runner;
+
+namespace
+{
+
+constexpr std::uint64_t testInsts = 3000;
+
+/** Exact comparison: serial and parallel execute identical code on
+ *  identical inputs, so every field must match bit for bit. */
+void
+expectIdentical(const RunResults &a, const RunResults &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.gals, b.gals);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.fetched, b.fetched);
+    EXPECT_EQ(a.wrongPathFetched, b.wrongPathFetched);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.timeSec, b.timeSec);
+    EXPECT_EQ(a.ipcNominal, b.ipcNominal);
+    EXPECT_EQ(a.energyJ, b.energyJ);
+    EXPECT_EQ(a.avgPowerW, b.avgPowerW);
+    EXPECT_EQ(a.unitEnergyNj, b.unitEnergyNj);
+    EXPECT_EQ(a.fifoEvents, b.fifoEvents);
+    EXPECT_EQ(a.avgSlipCycles, b.avgSlipCycles);
+    EXPECT_EQ(a.avgFifoSlipCycles, b.avgFifoSlipCycles);
+    EXPECT_EQ(a.misspecFraction, b.misspecFraction);
+    EXPECT_EQ(a.mispredictsPerKCommitted, b.mispredictsPerKCommitted);
+    EXPECT_EQ(a.dirAccuracy, b.dirAccuracy);
+    EXPECT_EQ(a.avgRobOcc, b.avgRobOcc);
+    EXPECT_EQ(a.avgIntRenames, b.avgIntRenames);
+    EXPECT_EQ(a.avgFpRenames, b.avgFpRenames);
+    EXPECT_EQ(a.intIQOcc, b.intIQOcc);
+    EXPECT_EQ(a.fpIQOcc, b.fpIQOcc);
+    EXPECT_EQ(a.memIQOcc, b.memIQOcc);
+    EXPECT_EQ(a.il1MissRate, b.il1MissRate);
+    EXPECT_EQ(a.dl1MissRate, b.dl1MissRate);
+    EXPECT_EQ(a.l2MissRate, b.l2MissRate);
+}
+
+SweepOptions
+smallSweep()
+{
+    SweepOptions opts;
+    opts.instructions = testInsts;
+    opts.benchmarks = {"gcc", "ijpeg", "fpppp", "adpcm"};
+    return opts;
+}
+
+ScenarioRegistry &
+registry()
+{
+    static ScenarioRegistry reg = [] {
+        ScenarioRegistry r;
+        bench::registerAllScenarios(r);
+        return r;
+    }();
+    return reg;
+}
+
+} // namespace
+
+TEST(ScenarioRegistry, ListsEveryFormerBenchDriver)
+{
+    EXPECT_GE(registry().size(), 12u);
+    for (const char *name :
+         {"fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+          "fig11", "fig12", "fig13", "table1", "phase",
+          "ablation-fifo", "ablation-dvfs", "quickstart", "suite",
+          "dvfs-explorer"}) {
+        const Scenario *s = registry().find(name);
+        ASSERT_NE(s, nullptr) << "missing scenario " << name;
+        EXPECT_FALSE(s->description.empty());
+        EXPECT_TRUE(s->makeRuns != nullptr);
+        EXPECT_TRUE(s->reduce != nullptr);
+    }
+}
+
+TEST(ScenarioRegistry, FindUnknownReturnsNull)
+{
+    EXPECT_EQ(registry().find("nonsense"), nullptr);
+}
+
+TEST(ScenarioRegistry, ScenariosExpandToRuns)
+{
+    const SweepOptions opts = smallSweep();
+    // Every scenario except the literature table produces runs.
+    for (const Scenario &s : registry().all()) {
+        const auto runs = s.makeRuns(opts);
+        if (s.name == "table1")
+            EXPECT_TRUE(runs.empty());
+        else
+            EXPECT_FALSE(runs.empty()) << s.name;
+    }
+}
+
+TEST(ExperimentEngine, ParallelMatchesSerial)
+{
+    const SweepOptions opts = smallSweep();
+    const auto runs = registry().find("fig05")->makeRuns(opts);
+
+    const auto serial = ExperimentEngine(1).run(runs);
+    const auto parallel = ExperimentEngine(8).run(runs);
+
+    ASSERT_EQ(serial.size(), runs.size());
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+}
+
+TEST(ExperimentEngine, ParallelReportsAreByteIdentical)
+{
+    const SweepOptions opts = smallSweep();
+    const auto runs = registry().find("fig09")->makeRuns(opts);
+
+    std::ostringstream serialJson, parallelJson;
+    writeJsonLines(serialJson, "fig09", runs,
+                   ExperimentEngine(1).run(runs));
+    writeJsonLines(parallelJson, "fig09", runs,
+                   ExperimentEngine(8).run(runs));
+    EXPECT_EQ(serialJson.str(), parallelJson.str());
+    EXPECT_FALSE(serialJson.str().empty());
+}
+
+TEST(ExperimentEngine, MatchesRunMany)
+{
+    SweepOptions opts = smallSweep();
+    opts.benchmarks = {"gcc", "adpcm"};
+    const auto runs = registry().find("fig05")->makeRuns(opts);
+
+    const auto batch = runMany(runs);
+    const auto engine = ExperimentEngine(0).run(runs); // hardware jobs
+    ASSERT_EQ(batch.size(), engine.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        expectIdentical(batch[i], engine[i]);
+}
+
+TEST(ExperimentEngine, ZeroJobsPicksHardwareConcurrency)
+{
+    EXPECT_GE(ExperimentEngine(0).jobs(), 1u);
+    EXPECT_EQ(ExperimentEngine(3).jobs(), 3u);
+}
+
+TEST(PairHelpers, AppendPairConvention)
+{
+    std::vector<RunConfig> runs;
+    appendPair(runs, "gcc", 1000, DvfsSetting(), 7);
+    appendPair(runs, "ijpeg", 1000);
+    ASSERT_EQ(runs.size(), 4u);
+    EXPECT_FALSE(runs[0].gals);
+    EXPECT_TRUE(runs[1].gals);
+    EXPECT_EQ(runs[0].benchmark, "gcc");
+    EXPECT_EQ(runs[1].benchmark, "gcc");
+    EXPECT_EQ(runs[0].seed, 7u);
+    EXPECT_EQ(runs[2].benchmark, "ijpeg");
+    EXPECT_TRUE(runs[3].gals);
+}
+
+TEST(PairHelpers, PairAtMatchesRunPair)
+{
+    std::vector<RunConfig> runs;
+    appendPair(runs, "gcc", testInsts);
+    const auto results = runMany(runs);
+    const PairResults viaEngine = pairAt(results, 0);
+    const PairResults direct = runPair("gcc", testInsts);
+    expectIdentical(viaEngine.base, direct.base);
+    expectIdentical(viaEngine.galsRun, direct.galsRun);
+}
+
+TEST(PhaseSeed, SentinelFollowsWorkloadSeed)
+{
+    RunConfig cfg;
+    cfg.seed = 42;
+    EXPECT_EQ(cfg.phaseSeed, phaseSeedFollowsWorkload);
+    EXPECT_EQ(effectivePhaseSeed(cfg), 42u);
+
+    cfg.phaseSeed = 7;
+    EXPECT_EQ(effectivePhaseSeed(cfg), 7u);
+
+    cfg.phaseSeed = phaseSeedFollowsWorkload;
+    cfg.seed = 0;
+    EXPECT_EQ(effectivePhaseSeed(cfg), 0u);
+}
+
+TEST(PhaseSeed, DefaultRunMatchesExplicitWorkloadSeed)
+{
+    RunConfig implicit;
+    implicit.benchmark = "gcc";
+    implicit.instructions = testInsts;
+    implicit.gals = true;
+    implicit.seed = 11;
+
+    RunConfig explicitSeed = implicit;
+    explicitSeed.phaseSeed = 11;
+
+    expectIdentical(runOne(implicit), runOne(explicitSeed));
+}
+
+TEST(PhaseSeed, DifferentPhaseSeedChangesGalsTiming)
+{
+    RunConfig a;
+    a.benchmark = "gcc";
+    a.instructions = testInsts;
+    a.gals = true;
+
+    RunConfig b = a;
+    b.phaseSeed = 0x1234;
+
+    // Same workload, different clock phases: committed count equal,
+    // timing (ticks) differing — the section 5.1 sensitivity.
+    const RunResults ra = runOne(a);
+    const RunResults rb = runOne(b);
+    EXPECT_EQ(ra.committed, rb.committed);
+    EXPECT_NE(ra.ticks, rb.ticks);
+}
+
+TEST(MeanTracker, IsGeometric)
+{
+    bench::MeanTracker m;
+    m.add(2.0);
+    m.add(0.5);
+    EXPECT_NEAR(m.mean(), 1.0, 1e-12); // arithmetic would say 1.25
+
+    bench::MeanTracker m2;
+    m2.add(1.0);
+    m2.add(4.0);
+    EXPECT_NEAR(m2.mean(), 2.0, 1e-12); // arithmetic would say 2.5
+
+    bench::MeanTracker empty;
+    EXPECT_EQ(empty.mean(), 0.0);
+}
+
+TEST(Reporters, CsvHasHeaderAndOneRowPerRun)
+{
+    SweepOptions opts = smallSweep();
+    opts.benchmarks = {"gcc"};
+    const auto runs = registry().find("quickstart")->makeRuns(opts);
+    const auto results = runMany(runs);
+
+    std::ostringstream csv;
+    writeCsv(csv, "quickstart", runs, results);
+    std::istringstream lines(csv.str());
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(lines, line))
+        ++count;
+    EXPECT_EQ(count, 1 + results.size());
+    EXPECT_EQ(csv.str().rfind("scenario,index,benchmark", 0), 0u);
+}
