@@ -10,13 +10,15 @@
  * records.
  *
  * Usage:
- *   galsbench --list
+ *   galsbench --list [--format md]
  *   galsbench --scenario fig05 [--scenario fig09 ...] | --all
  *             [--jobs N] [--format table|json|csv]
  *             [--insts N] [--bench NAME] [--seed N]
+ *             [--engine calendar|heap]
  *
- * Environment: GALSSIM_INSTS and GALSSIM_BENCH provide defaults for
- * --insts / --bench (the knobs the old drivers honoured).
+ * Environment: GALSSIM_INSTS, GALSSIM_BENCH and GALSSIM_ENGINE provide
+ * defaults for --insts / --bench / --engine (the first two are the
+ * knobs the old drivers honoured).
  */
 
 #include <cstdio>
@@ -30,6 +32,7 @@
 #include "runner/engine.hh"
 #include "runner/reporter.hh"
 #include "runner/scenario.hh"
+#include "sim/event_queue.hh"
 
 using namespace gals;
 using namespace gals::runner;
@@ -42,12 +45,15 @@ usage(std::FILE *to, int exitCode)
 {
     std::fprintf(
         to,
-        "usage: galsbench --list\n"
+        "usage: galsbench --list [--format md]\n"
         "       galsbench (--scenario NAME)... | --all\n"
         "                 [--jobs N] [--format table|json|csv]\n"
         "                 [--insts N] [--bench NAME] [--seed N]\n"
+        "                 [--engine calendar|heap]\n"
         "\n"
         "  --list          list registered scenarios and exit\n"
+        "                  (--format md emits the markdown catalog\n"
+        "                  that docs/SCENARIOS.md is generated from)\n"
         "  --scenario NAME run one scenario (repeatable)\n"
         "  --all           run every registered scenario\n"
         "  --jobs N        worker threads (0 = all hardware threads;\n"
@@ -57,7 +63,10 @@ usage(std::FILE *to, int exitCode)
         "  --insts N       instructions per run (or GALSSIM_INSTS)\n"
         "  --bench NAME    restrict the benchmark sweep (repeatable,\n"
         "                  or GALSSIM_BENCH)\n"
-        "  --seed N        workload seed (default 0)\n");
+        "  --seed N        workload seed (default 0)\n"
+        "  --engine E      event-queue engine: calendar (default) or\n"
+        "                  heap (A/B baseline; or GALSSIM_ENGINE).\n"
+        "                  Results are identical for either.\n");
     std::exit(exitCode);
 }
 
@@ -94,6 +103,8 @@ main(int argc, char **argv)
     bench::registerAllScenarios(registry);
 
     SweepOptions opts = SweepOptions::fromEnvironment();
+    if (const char *env = std::getenv("GALSSIM_ENGINE"))
+        EventQueue::setDefaultEngine(parseQueueEngine(env));
     std::vector<std::string> selected, cliBenchmarks;
     bool listOnly = false, runAll = false;
     unsigned jobs = 1;
@@ -125,6 +136,9 @@ main(int argc, char **argv)
         } else if (!std::strcmp(arg, "--seed")) {
             opts.seed =
                 numericValue("--seed", argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--engine")) {
+            EventQueue::setDefaultEngine(
+                parseQueueEngine(argValue(argc, argv, i)));
         } else if (!std::strcmp(arg, "--help") ||
                    !std::strcmp(arg, "-h")) {
             usage(stdout, 0);
@@ -140,12 +154,28 @@ main(int argc, char **argv)
         opts.benchmarks = std::move(cliBenchmarks);
 
     if (listOnly) {
+        if (format == OutputFormat::markdown) {
+            // The checked-in catalog documents the registry at stock
+            // sweep defaults, deliberately ignoring GALSSIM_INSTS /
+            // --insts overrides so the CI drift check is stable in
+            // any environment.
+            writeScenarioCatalogMarkdown(std::cout, registry,
+                                         SweepOptions{});
+            return 0;
+        }
         std::printf("%-16s %-14s %s\n", "name", "figure",
                     "description");
         for (const Scenario &s : registry.all())
             std::printf("%-16s %-14s %s\n", s.name.c_str(),
                         s.figure.c_str(), s.description.c_str());
         return 0;
+    }
+
+    if (format == OutputFormat::markdown) {
+        std::fprintf(stderr,
+                     "galsbench: --format md is only valid with "
+                     "--list\n");
+        return 2;
     }
 
     if (runAll) {
@@ -185,6 +215,8 @@ main(int argc, char **argv)
           case OutputFormat::csv:
             writeCsv(std::cout, scenario->name, runs, results);
             break;
+          case OutputFormat::markdown:
+            break; // rejected above; --list handles md itself
         }
     }
     return 0;

@@ -25,6 +25,13 @@
  * Channels also account the residency time of every item so the
  * paper's Figure 7 (slip split into FIFO time vs pipeline time) can be
  * reproduced, and count pushes/pops for the FIFO power model.
+ *
+ * Storage is an intrusive doubly-linked list over a pool of
+ * capacity() entry nodes preallocated at construction — a channel can
+ * never hold more than capacity() items — so the push/pop/squash hot
+ * path in the domain-crossing traffic performs no allocations:
+ * push takes a node from the embedded free list, pop returns it, and
+ * squash unlinks mid-list nodes in O(1) each.
  */
 
 #ifndef CORE_CHANNEL_HH
@@ -32,6 +39,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
+#include <new>
 #include <string>
 #include <utility>
 
@@ -121,8 +130,22 @@ class Channel : public ChannelBase
             ClockDomain &consumer, std::size_t capacity,
             unsigned syncEdges = 2, bool streaming = true)
         : ChannelBase(std::move(name), mode, producer, consumer, capacity,
-                      syncEdges, streaming)
+                      syncEdges, streaming),
+          pool_(std::make_unique<Node[]>(capacity))
     {
+        // Thread every pool node onto the free list (singly linked
+        // through next). full() bounds the occupancy at capacity_, so
+        // the pool can never run dry.
+        for (std::size_t i = 0; i < capacity; ++i) {
+            pool_[i].next = free_;
+            free_ = &pool_[i];
+        }
+    }
+
+    ~Channel() override
+    {
+        for (Node *n = head_; n != nullptr; n = n->next)
+            n->destroyItem();
     }
 
     /**
@@ -137,7 +160,7 @@ class Channel : public ChannelBase
         for (const Tick t : freeVisible_)
             if (t > now)
                 ++unobserved_frees;
-        return q_.size() + unobserved_frees >= capacity_;
+        return size_ + unobserved_frees >= capacity_;
     }
 
     bool canPush() const { return !full(); }
@@ -156,15 +179,20 @@ class Channel : public ChannelBase
         // edge after the item ahead of it (one item per cycle
         // throughput), never earlier than the edge after its own push.
         Tick ready;
-        if (q_.empty() || !streaming_) {
+        if (head_ == nullptr || !streaming_) {
             ready = visibleAt(now);
-            if (!q_.empty())
-                ready = std::max(ready, q_.back().readyTick);
+            if (tail_ != nullptr)
+                ready = std::max(ready, tail_->readyTick);
         } else {
-            ready = std::max(q_.back().readyTick,
+            ready = std::max(tail_->readyTick,
                              consumer_.nextEdgeAfter(now));
         }
-        q_.push_back(Entry{std::move(item), now, ready});
+
+        Node *n = takeFree();
+        new (n->storage) T(std::move(item));
+        n->pushTick = now;
+        n->readyTick = ready;
+        linkBack(n);
         pruneFrees(now);
     }
 
@@ -172,10 +200,10 @@ class Channel : public ChannelBase
     bool
     empty() const
     {
-        if (q_.empty())
+        if (head_ == nullptr)
             return true;
         const Tick now = consumer_.eventQueue().now();
-        return q_.front().readyTick > now;
+        return head_->readyTick > now;
     }
 
     /** First visible item; caller must have checked !empty(). */
@@ -183,7 +211,7 @@ class Channel : public ChannelBase
     front()
     {
         gals_assert(!empty(), "front() on empty channel '", name_, "'");
-        return q_.front().item;
+        return *head_->item();
     }
 
     /** Push time of the first visible item (for residency metrics). */
@@ -192,7 +220,7 @@ class Channel : public ChannelBase
     {
         gals_assert(!empty(), "frontPushTick() on empty channel '", name_,
                     "'");
-        return q_.front().pushTick;
+        return head_->pushTick;
     }
 
     /** Remove the first visible item. */
@@ -202,17 +230,21 @@ class Channel : public ChannelBase
         gals_assert(!empty(), "pop() on empty channel '", name_, "'");
         const Tick now = consumer_.eventQueue().now();
         ++pops_;
-        totalResidency_ += now - q_.front().pushTick;
-        q_.pop_front();
+        totalResidency_ += now - head_->pushTick;
+        Node *n = head_;
+        unlink(n);
+        n->destroyItem();
+        putFree(n);
         freeVisible_.push_back(freeVisibleAt(now));
     }
 
     /** Number of items physically inside (visible or not). */
-    std::size_t rawSize() const { return q_.size(); }
+    std::size_t rawSize() const { return size_; }
 
     /**
      * Remove every item satisfying @p pred (pipeline squash). Removed
      * items free their slots like pops but do not count residency.
+     * Each removal is an O(1) mid-list unlink.
      * @return number of items removed.
      */
     template <typename Pred>
@@ -221,14 +253,16 @@ class Channel : public ChannelBase
     {
         const Tick now = consumer_.eventQueue().now();
         unsigned removed = 0;
-        for (auto it = q_.begin(); it != q_.end();) {
-            if (pred(it->item)) {
-                it = q_.erase(it);
+        for (Node *n = head_; n != nullptr;) {
+            Node *next = n->next;
+            if (pred(*n->item())) {
+                unlink(n);
+                n->destroyItem();
+                putFree(n);
                 freeVisible_.push_back(freeVisibleAt(now));
                 ++removed;
-            } else {
-                ++it;
             }
+            n = next;
         }
         squashedItems_ += removed;
         return removed;
@@ -238,18 +272,80 @@ class Channel : public ChannelBase
     void
     clear()
     {
-        squashedItems_ += q_.size();
-        q_.clear();
+        squashedItems_ += size_;
+        for (Node *n = head_; n != nullptr;) {
+            Node *next = n->next;
+            n->destroyItem();
+            putFree(n);
+            n = next;
+        }
+        head_ = tail_ = nullptr;
+        size_ = 0;
         freeVisible_.clear();
     }
 
   private:
-    struct Entry
+    /**
+     * One pooled FIFO entry with embedded list links. The item lives
+     * in raw aligned storage so pool nodes need no default-
+     * constructible T; it is placement-constructed on push and
+     * destroyed on pop/squash/clear.
+     */
+    struct Node
     {
-        T item;
-        Tick pushTick;
-        Tick readyTick;
+        Node *prev = nullptr;
+        Node *next = nullptr;
+        Tick pushTick = 0;
+        Tick readyTick = 0;
+        alignas(T) unsigned char storage[sizeof(T)];
+
+        T *item() { return std::launder(reinterpret_cast<T *>(storage)); }
+        void destroyItem() { item()->~T(); }
     };
+
+    Node *
+    takeFree()
+    {
+        gals_assert(free_ != nullptr, "channel '", name_,
+                    "' entry pool exhausted");
+        Node *n = free_;
+        free_ = n->next;
+        return n;
+    }
+
+    void
+    putFree(Node *n)
+    {
+        n->next = free_;
+        free_ = n;
+    }
+
+    void
+    linkBack(Node *n)
+    {
+        n->prev = tail_;
+        n->next = nullptr;
+        if (tail_ != nullptr)
+            tail_->next = n;
+        else
+            head_ = n;
+        tail_ = n;
+        ++size_;
+    }
+
+    void
+    unlink(Node *n)
+    {
+        if (n->prev != nullptr)
+            n->prev->next = n->next;
+        else
+            head_ = n->next;
+        if (n->next != nullptr)
+            n->next->prev = n->prev;
+        else
+            tail_ = n->prev;
+        --size_;
+    }
 
     void
     pruneFrees(Tick now)
@@ -258,7 +354,14 @@ class Channel : public ChannelBase
             freeVisible_.pop_front();
     }
 
-    std::deque<Entry> q_;
+    std::unique_ptr<Node[]> pool_; ///< capacity() nodes, fixed for life
+    Node *free_ = nullptr;         ///< recycled nodes (singly linked)
+    Node *head_ = nullptr;         ///< oldest item
+    Node *tail_ = nullptr;         ///< newest item
+    std::size_t size_ = 0;
+
+    /** Pop-time slot releases not yet observed by the producer;
+     *  sorted (pops happen in time order), pruned on push. */
     std::deque<Tick> freeVisible_;
 };
 

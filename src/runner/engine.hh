@@ -24,13 +24,21 @@ namespace gals::runner
 class ExperimentEngine
 {
   public:
-    /** @param jobs worker threads; 0 picks the hardware thread
-     *  count, 1 degenerates to the serial runMany(). */
+    /**
+     * @param jobs worker threads; 0 picks the hardware thread
+     *     count, 1 degenerates to the serial runMany().
+     */
     explicit ExperimentEngine(unsigned jobs = 1);
 
-    /** Run the batch; results[i] belongs to cfgs[i]. */
+    /**
+     * Run the batch across the worker pool.
+     * @param cfgs independent run configurations.
+     * @return results element-wise: results[i] belongs to cfgs[i],
+     *     byte-identical for any job count.
+     */
     std::vector<RunResults> run(const std::vector<RunConfig> &cfgs) const;
 
+    /** Resolved worker-thread count (never 0). */
     unsigned jobs() const { return jobs_; }
 
     /** Hardware thread count (at least 1). */

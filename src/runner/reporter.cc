@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <ostream>
 
+#include "runner/scenario.hh"
 #include "sim/logging.hh"
 
 namespace gals::runner
@@ -96,8 +97,10 @@ parseOutputFormat(const std::string &name)
         return OutputFormat::json;
     if (name == "csv")
         return OutputFormat::csv;
+    if (name == "md" || name == "markdown")
+        return OutputFormat::markdown;
     gals_fatal("unknown output format '", name,
-               "' (expected table, json or csv)");
+               "' (expected table, json, csv or md)");
 }
 
 void
@@ -161,6 +164,36 @@ writeCsv(std::ostream &os, const std::string &scenario,
         for (const auto &[unit, nj] : r.unitEnergyNj)
             os << "," << num(nj);
         os << "\n";
+    }
+}
+
+void
+writeScenarioCatalogMarkdown(std::ostream &os,
+                             const ScenarioRegistry &registry,
+                             const SweepOptions &opts)
+{
+    os << "# Scenario catalog\n"
+       << "\n"
+       << "<!-- Generated by `galsbench --list --format md`. Do not "
+          "edit by hand:\n"
+          "     CI regenerates this file and fails on drift. -->\n"
+       << "\n"
+       << "Every paper figure, ablation and sweep is a registered "
+          "scenario of the\n"
+          "`galsbench` CLI. Run one with `galsbench --scenario "
+          "<name>`; the *runs*\n"
+          "column is the grid size at default sweep options ("
+       << num(opts.instructions) << " instructions\nper run).\n"
+       << "\n"
+       << "| name | reference | description | runs | insts/run |\n"
+       << "|---|---|---|---:|---:|\n";
+    for (const Scenario &s : registry.all()) {
+        const std::size_t runs =
+            s.makeRuns ? s.makeRuns(opts).size() : 0;
+        os << "| `" << s.name << "` | " << s.figure << " | "
+           << s.description << " | " << runs << " | "
+           << (runs == 0 ? std::string("-") : num(opts.instructions))
+           << " |\n";
     }
 }
 

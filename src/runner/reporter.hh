@@ -22,15 +22,19 @@
 namespace gals::runner
 {
 
+class ScenarioRegistry;
+struct SweepOptions;
+
 /** How a sweep's results are rendered. */
 enum class OutputFormat
 {
-    table, ///< the scenario's own human-readable reduce()
-    json,  ///< one JSON object per run, one per line
-    csv,   ///< header row + one CSV row per run
+    table,    ///< the scenario's own human-readable reduce()
+    json,     ///< one JSON object per run, one per line
+    csv,      ///< header row + one CSV row per run
+    markdown, ///< scenario catalog table (valid with --list only)
 };
 
-/** Parse "table" / "json" / "csv"; fatal on anything else. */
+/** Parse "table" / "json" / "csv" / "md"; fatal on anything else. */
 OutputFormat parseOutputFormat(const std::string &name);
 
 /** Emit one JSON object per run (JSON-lines). */
@@ -43,6 +47,18 @@ void writeJsonLines(std::ostream &os, const std::string &scenario,
 void writeCsv(std::ostream &os, const std::string &scenario,
               const std::vector<RunConfig> &cfgs,
               const std::vector<RunResults> &results);
+
+/**
+ * Emit the scenario catalog as a markdown table (one row per
+ * registered scenario: name, figure/table reference, description,
+ * grid size and instructions per run at @p opts). This is what
+ * `galsbench --list --format md` prints and what docs/SCENARIOS.md is
+ * generated from; CI regenerates it and fails on drift, so the output
+ * must be deterministic for fixed registry + options.
+ */
+void writeScenarioCatalogMarkdown(std::ostream &os,
+                                  const ScenarioRegistry &registry,
+                                  const SweepOptions &opts);
 
 } // namespace gals::runner
 

@@ -84,10 +84,17 @@ class ScenarioRegistry
     /** Register a scenario; fatal on a duplicate or empty name. */
     void add(Scenario s);
 
-    /** Look up by name; nullptr if absent. */
+    /**
+     * Look up a scenario by CLI key.
+     * @param name the Scenario::name, e.g. "fig05".
+     * @return the scenario, or nullptr if absent.
+     */
     const Scenario *find(const std::string &name) const;
 
+    /** Every registered scenario, in registration order. */
     const std::vector<Scenario> &all() const { return scenarios_; }
+
+    /** Number of registered scenarios. */
     std::size_t size() const { return scenarios_.size(); }
 
   private:

@@ -1,6 +1,5 @@
 #include "sim/clock_domain.hh"
 
-#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -18,11 +17,62 @@ ClockDomain::ClockDomain(EventQueue &eq, std::string name, Tick period,
                 "' needs a positive period");
 }
 
-void
+ClockDomain::~ClockDomain()
+{
+    Ticker *t = tickersHead_;
+    while (t != nullptr) {
+        Ticker *next = t->next_;
+        delete t;
+        t = next;
+    }
+}
+
+ClockDomain::Ticker *
 ClockDomain::addTicker(std::function<void()> fn, int priority)
 {
-    tickers_.push_back({priority, nextOrder_++, std::move(fn)});
-    tickersSorted_ = false;
+    Ticker *t = new Ticker(std::move(fn), priority);
+
+    // Insert before the first node with a strictly greater priority,
+    // scanning from the tail: equal priorities keep registration
+    // order, and typical registration (ascending or uniform priority)
+    // appends in O(1).
+    Ticker *pos = tickersTail_;
+    while (pos != nullptr && pos->priority_ > priority)
+        pos = pos->prev_;
+
+    t->prev_ = pos;
+    if (pos != nullptr) {
+        t->next_ = pos->next_;
+        if (pos->next_ != nullptr)
+            pos->next_->prev_ = t;
+        else
+            tickersTail_ = t;
+        pos->next_ = t;
+    } else {
+        t->next_ = tickersHead_;
+        if (tickersHead_ != nullptr)
+            tickersHead_->prev_ = t;
+        else
+            tickersTail_ = t;
+        tickersHead_ = t;
+    }
+    return t;
+}
+
+void
+ClockDomain::removeTicker(Ticker *ticker)
+{
+    gals_assert(ticker != nullptr, "clock domain '", name_,
+                "': removeTicker(nullptr)");
+    if (ticker->prev_ != nullptr)
+        ticker->prev_->next_ = ticker->next_;
+    else
+        tickersHead_ = ticker->next_;
+    if (ticker->next_ != nullptr)
+        ticker->next_->prev_ = ticker->prev_;
+    else
+        tickersTail_ = ticker->prev_;
+    delete ticker;
 }
 
 void
@@ -90,17 +140,8 @@ ClockDomain::edge()
     seenEdge_ = true;
     ++cycle_;
 
-    if (!tickersSorted_) {
-        std::sort(tickers_.begin(), tickers_.end(),
-                  [](const Ticker &a, const Ticker &b) {
-                      if (a.priority != b.priority)
-                          return a.priority < b.priority;
-                      return a.order < b.order;
-                  });
-        tickersSorted_ = true;
-    }
-    for (auto &t : tickers_)
-        t.fn();
+    for (Ticker *t = tickersHead_; t != nullptr; t = t->next_)
+        t->fn_();
 }
 
 } // namespace gals

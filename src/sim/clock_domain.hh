@@ -12,6 +12,11 @@
  * the current edge), which is the mechanism used for dynamic frequency
  * scaling. Each domain also carries a supply voltage so the power model
  * can charge energy at the right Vdd.
+ *
+ * Tickers are intrusive doubly-linked list nodes kept sorted at
+ * insertion (ascending priority, then registration order), so the
+ * per-edge hot path is a plain list walk: no deferred sorting, no
+ * vector reallocation, and O(1) removal.
  */
 
 #ifndef SIM_CLOCK_DOMAIN_HH
@@ -19,7 +24,6 @@
 
 #include <functional>
 #include <string>
-#include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/ticks.hh"
@@ -34,6 +38,27 @@ class ClockDomain
 {
   public:
     /**
+     * One per-edge callback registration, linked into the domain's
+     * sorted intrusive ticker list. Nodes are owned by the domain;
+     * addTicker() returns a handle usable with removeTicker().
+     */
+    class Ticker
+    {
+      private:
+        friend class ClockDomain;
+
+        Ticker(std::function<void()> fn, int priority)
+            : fn_(std::move(fn)), priority_(priority)
+        {
+        }
+
+        std::function<void()> fn_;
+        int priority_;
+        Ticker *prev_ = nullptr;
+        Ticker *next_ = nullptr;
+    };
+
+    /**
      * @param eq       owning event queue
      * @param name     diagnostic name
      * @param period   clock period in ticks (> 0)
@@ -41,7 +66,7 @@ class ClockDomain
      */
     ClockDomain(EventQueue &eq, std::string name, Tick period,
                 Tick phase = 0);
-    ~ClockDomain() = default;
+    ~ClockDomain();
 
     ClockDomain(const ClockDomain &) = delete;
     ClockDomain &operator=(const ClockDomain &) = delete;
@@ -49,8 +74,13 @@ class ClockDomain
     /**
      * Register a callback run on every rising edge. Callbacks run in
      * ascending @p priority, then registration order.
+     * @return a handle for removeTicker(); may be ignored.
      */
-    void addTicker(std::function<void()> fn, int priority = 50);
+    Ticker *addTicker(std::function<void()> fn, int priority = 50);
+
+    /** Unregister and destroy a ticker; O(1). Must not be called from
+     *  within that ticker's own callback. */
+    void removeTicker(Ticker *ticker);
 
     /** Begin ticking: schedules the first edge at the phase offset. */
     void start();
@@ -115,15 +145,10 @@ class ClockDomain
     bool running_ = false;
     double vdd_ = 1.5;
 
-    struct Ticker
-    {
-        int priority;
-        std::uint64_t order;
-        std::function<void()> fn;
-    };
-    std::vector<Ticker> tickers_;
-    bool tickersSorted_ = true;
-    std::uint64_t nextOrder_ = 0;
+    /** Sorted intrusive ticker list (ascending priority, then
+     *  registration order); nodes owned by this domain. */
+    Ticker *tickersHead_ = nullptr;
+    Ticker *tickersTail_ = nullptr;
 
     PeriodicEvent edgeEvent_;
 };

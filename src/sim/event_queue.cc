@@ -1,11 +1,44 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "sim/logging.hh"
 
 namespace gals
 {
+
+namespace
+{
+
+constexpr QueueEngine builtinDefaultEngine =
+#ifdef GALSSIM_HEAP_EVENTQUEUE
+    QueueEngine::heap;
+#else
+    QueueEngine::calendar;
+#endif
+
+std::atomic<QueueEngine> g_defaultEngine{builtinDefaultEngine};
+
+} // namespace
+
+QueueEngine
+parseQueueEngine(const std::string &name)
+{
+    if (name == "calendar")
+        return QueueEngine::calendar;
+    if (name == "heap")
+        return QueueEngine::heap;
+    gals_fatal("unknown event-queue engine '", name,
+               "' (expected calendar or heap)");
+}
+
+const char *
+queueEngineName(QueueEngine engine)
+{
+    return engine == QueueEngine::calendar ? "calendar" : "heap";
+}
 
 Event::Event(std::string name, int priority)
     : name_(std::move(name)), priority_(priority)
@@ -55,14 +88,37 @@ PeriodicEvent::process()
     fn_();
 }
 
-EventQueue::EventQueue(std::string name) : name_(std::move(name)) {}
+QueueEngine
+EventQueue::defaultEngine()
+{
+    return g_defaultEngine.load(std::memory_order_relaxed);
+}
+
+void
+EventQueue::setDefaultEngine(QueueEngine engine)
+{
+    g_defaultEngine.store(engine, std::memory_order_relaxed);
+}
+
+EventQueue::EventQueue(std::string name, QueueEngine engine)
+    : name_(std::move(name)), engine_(engine)
+{
+    if (engine_ == QueueEngine::calendar)
+        buckets_.resize(calInitialBuckets);
+}
 
 EventQueue::~EventQueue()
 {
     // Orphan any still-scheduled events so their destructors do not
     // touch a dead queue.
-    for (Event *ev : queue_)
-        ev->queue_ = nullptr;
+    if (engine_ == QueueEngine::heap) {
+        for (Event *ev : set_)
+            ev->queue_ = nullptr;
+    } else {
+        for (Bucket &b : buckets_)
+            for (Event *ev = b.head; ev != nullptr; ev = ev->calNext_)
+                ev->queue_ = nullptr;
+    }
 }
 
 void
@@ -76,7 +132,14 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->when_ = when;
     ev->seq_ = nextSeq_++;
     ev->queue_ = this;
-    queue_.insert(ev);
+    ++size_;
+    if (engine_ == QueueEngine::heap) {
+        set_.insert(ev);
+        return;
+    }
+    calInsert(ev);
+    if (size_ > calGrowPerBucket * buckets_.size())
+        calResize(buckets_.size() * 2);
 }
 
 void
@@ -85,10 +148,17 @@ EventQueue::deschedule(Event *ev)
     gals_assert(ev != nullptr, "null event");
     gals_assert(ev->queue_ == this, "event '", ev->name(),
                 "' is not scheduled on this queue");
-    auto it = queue_.find(ev);
-    gals_assert(it != queue_.end(), "scheduled event '", ev->name(),
-                "' missing from queue");
-    queue_.erase(it);
+    if (engine_ == QueueEngine::heap) {
+        auto it = set_.find(ev);
+        gals_assert(it != set_.end(), "scheduled event '", ev->name(),
+                    "' missing from queue");
+        set_.erase(it);
+    } else {
+        calRemove(ev);
+    }
+    --size_;
+    if (engine_ == QueueEngine::calendar)
+        calMaybeShrink();
     ev->queue_ = nullptr;
 }
 
@@ -100,23 +170,179 @@ EventQueue::reschedule(Event *ev, Tick when)
     schedule(ev, when);
 }
 
+void
+EventQueue::calInsert(Event *ev)
+{
+    const std::size_t idx = bucketIndex(ev->when_);
+    Bucket &b = buckets_[idx];
+    ev->bucket_ = idx;
+
+    // Keep the bucket sorted by (when, priority, seq). Scan from the
+    // tail: clock-edge traffic inserts mostly at or near the end (new
+    // events carry the largest seq, and times move forward).
+    Event *pos = b.tail;
+    const Less less;
+    while (pos != nullptr && less(ev, pos))
+        pos = pos->calPrev_;
+
+    ev->calPrev_ = pos;
+    if (pos != nullptr) {
+        ev->calNext_ = pos->calNext_;
+        if (pos->calNext_ != nullptr)
+            pos->calNext_->calPrev_ = ev;
+        else
+            b.tail = ev;
+        pos->calNext_ = ev;
+    } else {
+        ev->calNext_ = b.head;
+        if (b.head != nullptr)
+            b.head->calPrev_ = ev;
+        else
+            b.tail = ev;
+        b.head = ev;
+    }
+
+    // A known minimum stays valid; it only changes if the new event
+    // is cheaper. An unknown (nullptr) cache stays unknown.
+    if (minCache_ != nullptr && less(ev, minCache_))
+        minCache_ = ev;
+}
+
+void
+EventQueue::calRemove(Event *ev)
+{
+    Bucket &b = buckets_[ev->bucket_];
+    if (ev->calPrev_ != nullptr)
+        ev->calPrev_->calNext_ = ev->calNext_;
+    else
+        b.head = ev->calNext_;
+    if (ev->calNext_ != nullptr)
+        ev->calNext_->calPrev_ = ev->calPrev_;
+    else
+        b.tail = ev->calPrev_;
+    ev->calPrev_ = nullptr;
+    ev->calNext_ = nullptr;
+    if (minCache_ == ev)
+        minCache_ = nullptr;
+}
+
+Event *
+EventQueue::calFindMin() const
+{
+    if (size_ == 0)
+        return nullptr;
+    if (minCache_ != nullptr)
+        return minCache_;
+
+    // Classic calendar-queue search: walk one wheel revolution
+    // starting at the bucket covering now(), accepting the first
+    // bucket head that falls inside its current-year window. Bucket
+    // heads are bucket minima, and events with equal when() always
+    // share a bucket, so the first hit is the global minimum.
+    const std::size_t n = buckets_.size();
+    const std::uint64_t vstart = now_ / width_;
+    for (std::size_t k = 0; k < n; ++k) {
+        Event *h = buckets_[(vstart + k) & (n - 1)].head;
+        if (h != nullptr && h->when_ / width_ == vstart + k) {
+            minCache_ = h;
+            return h;
+        }
+    }
+
+    // Every pending event is more than a full revolution away:
+    // direct search over the bucket minima. Distinct buckets never
+    // tie on when(), so comparing times alone is deterministic.
+    Event *best = nullptr;
+    for (const Bucket &b : buckets_)
+        if (b.head != nullptr &&
+            (best == nullptr || b.head->when_ < best->when_))
+            best = b.head;
+    minCache_ = best;
+    return best;
+}
+
+void
+EventQueue::calResize(std::size_t newBuckets)
+{
+    // Unlink every event into one chain, then re-insert under the new
+    // geometry. Pointers stay valid, so the min cache survives.
+    Event *all = nullptr;
+    Tick minWhen = maxTick;
+    Tick maxWhen = 0;
+    for (Bucket &b : buckets_) {
+        Event *ev = b.head;
+        while (ev != nullptr) {
+            Event *next = ev->calNext_;
+            ev->calNext_ = all;
+            all = ev;
+            minWhen = std::min(minWhen, ev->when_);
+            maxWhen = std::max(maxWhen, ev->when_);
+            ev = next;
+        }
+        b.head = nullptr;
+        b.tail = nullptr;
+    }
+
+    buckets_.assign(newBuckets, Bucket{});
+
+    // New width: the average inter-event gap (span / population),
+    // clamped to >= 1 tick, targeting ~1 event per bucket-year.
+    if (size_ > 1 && maxWhen > minWhen)
+        width_ = std::max<Tick>(1, (maxWhen - minWhen) / size_);
+
+    Event *saveMin = minCache_;
+    while (all != nullptr) {
+        Event *next = all->calNext_;
+        calInsert(all);
+        all = next;
+    }
+    minCache_ = saveMin;
+}
+
+void
+EventQueue::calMaybeShrink()
+{
+    const std::size_t n = buckets_.size();
+    if (n > calInitialBuckets && size_ < n / calShrinkDivisor)
+        calResize(n / 2);
+}
+
+Event *
+EventQueue::popMin()
+{
+    if (size_ == 0)
+        return nullptr;
+    Event *ev;
+    if (engine_ == QueueEngine::heap) {
+        auto it = set_.begin();
+        ev = *it;
+        set_.erase(it);
+    } else {
+        ev = calFindMin();
+        calRemove(ev);
+    }
+    --size_;
+    if (engine_ == QueueEngine::calendar)
+        calMaybeShrink();
+    return ev;
+}
+
 Tick
 EventQueue::nextEventTime() const
 {
-    if (queue_.empty())
+    if (size_ == 0)
         return maxTick;
-    return (*queue_.begin())->when();
+    if (engine_ == QueueEngine::heap)
+        return (*set_.begin())->when_;
+    return calFindMin()->when_;
 }
 
 bool
 EventQueue::serviceOne()
 {
-    if (queue_.empty())
+    Event *ev = popMin();
+    if (ev == nullptr)
         return false;
-
-    auto it = queue_.begin();
-    Event *ev = *it;
-    queue_.erase(it);
 
     gals_assert(ev->when() >= now_, "event queue went backwards");
     now_ = ev->when();
@@ -140,7 +366,7 @@ std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t n = 0;
-    while (!queue_.empty() && nextEventTime() <= until) {
+    while (size_ != 0 && nextEventTime() <= until) {
         serviceOne();
         ++n;
     }

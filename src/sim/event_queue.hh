@@ -9,6 +9,24 @@
  * future, and any mixture of periodic and aperiodic events can be
  * simulated together, which is what makes multi-clock-domain (GALS)
  * simulation possible.
+ *
+ * Two interchangeable scheduling backends implement the same ordering
+ * contract (see QueueEngine):
+ *
+ *  - @b calendar (default): a calendar queue / bucketed timing wheel
+ *    (Brown, CACM 1988) with dynamic resize. Events carry embedded
+ *    bucket links, so schedule/deschedule never allocate, and all
+ *    operations are O(1) amortized when the bucket width tracks the
+ *    inter-event gap — which it does for the clock-edge traffic that
+ *    dominates GALS simulation.
+ *
+ *  - @b heap: the original std::set (red-black tree) implementation,
+ *    kept as an A/B baseline. O(log n) per operation plus one node
+ *    allocation per schedule.
+ *
+ * Both engines pop events in exactly the same (time, priority,
+ * insertion-seq) order, so simulations are bit-identical under either;
+ * tests/test_calendar_queue.cc pins that equivalence.
  */
 
 #ifndef SIM_EVENT_QUEUE_HH
@@ -18,6 +36,7 @@
 #include <functional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "sim/ticks.hh"
 
@@ -27,11 +46,35 @@ namespace gals
 class EventQueue;
 
 /**
+ * Scheduling backend of an EventQueue.
+ *
+ * The process-wide default is QueueEngine::calendar; build with
+ * -DGALSSIM_HEAP_EVENTQUEUE (CMake option of the same name) or call
+ * EventQueue::setDefaultEngine() — e.g. via `galsbench --engine heap`
+ * — to fall back to the ordered-set baseline for A/B validation.
+ */
+enum class QueueEngine : std::uint8_t
+{
+    calendar, ///< bucketed calendar queue, O(1) amortized (default)
+    heap,     ///< ordered-set baseline, O(log n) (A/B validation)
+};
+
+/** Parse "calendar" / "heap"; fatal on anything else. */
+QueueEngine parseQueueEngine(const std::string &name);
+
+/** Human-readable engine name ("calendar" / "heap"). */
+const char *queueEngineName(QueueEngine engine);
+
+/**
  * An occurrence scheduled on an EventQueue.
  *
  * Subclasses implement process(). An event object is owned by its
  * creator; the queue never deletes events. One event object can be
  * scheduled at most once at a time.
+ *
+ * The calendar engine links scheduled events into its buckets through
+ * the embedded calPrev_/calNext_ pointers, so scheduling an event
+ * never allocates memory.
  */
 class Event
 {
@@ -72,6 +115,14 @@ class Event
     Tick when_ = 0;
     std::uint64_t seq_ = 0;     ///< insertion order tie-break
     EventQueue *queue_ = nullptr;
+
+    /** @name Intrusive calendar-bucket links
+     * Valid only while scheduled on a calendar-engine queue. */
+    /// @{
+    Event *calPrev_ = nullptr;
+    Event *calNext_ = nullptr;
+    std::size_t bucket_ = 0;    ///< owning bucket index
+    /// @}
 };
 
 /** One-shot event wrapping a std::function callback. */
@@ -123,16 +174,56 @@ class PeriodicEvent : public Event
  * The event queue and global timer.
  *
  * Events at equal (time, priority) execute in insertion order, which
- * keeps simulations deterministic.
+ * keeps simulations deterministic. The ordering contract is engine-
+ * independent: the calendar and heap engines pop element-wise
+ * identical sequences.
  */
 class EventQueue
 {
   public:
-    explicit EventQueue(std::string name = "eventq");
+    /** @name Calendar-queue tuning parameters
+     *
+     * The wheel starts with calInitialBuckets buckets of
+     * calInitialWidth ticks each (sized for the ~1000-tick clock
+     * periods that dominate this simulator) and resizes itself: with
+     * N buckets, it doubles N when the population exceeds
+     * calGrowPerBucket * N events and halves N when the population
+     * falls below N / calShrinkDivisor events (never below
+     * calInitialBuckets); the factor-4 gap between the two thresholds
+     * is the hysteresis that prevents resize thrash. On every resize
+     * the bucket width is re-derived as the pending events' time span
+     * divided by their count (the average inter-event gap), clamped
+     * to >= 1 tick, which keeps roughly one event per bucket-year.
+     * Bucket counts stay powers of two so the bucket index is a mask,
+     * not a modulo.
+     */
+    /// @{
+    static constexpr std::size_t calInitialBuckets = 8;
+    static constexpr Tick calInitialWidth = 1024;
+    /** Grow when size() > calGrowPerBucket * bucket count. */
+    static constexpr std::size_t calGrowPerBucket = 2;
+    /** Shrink when size() < bucket count / calShrinkDivisor. */
+    static constexpr std::size_t calShrinkDivisor = 2;
+    /// @}
+
+    explicit EventQueue(std::string name = "eventq",
+                        QueueEngine engine = defaultEngine());
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Scheduling backend this queue was constructed with. */
+    QueueEngine engine() const { return engine_; }
+
+    /**
+     * Process-wide default engine for newly constructed queues.
+     * Starts as QueueEngine::calendar (or heap when compiled with
+     * GALSSIM_HEAP_EVENTQUEUE). Set it before worker threads start
+     * constructing queues (galsbench does so while parsing --engine).
+     */
+    static QueueEngine defaultEngine();
+    static void setDefaultEngine(QueueEngine engine);
 
     /** Current simulated time (the global timer). */
     Tick now() const { return now_; }
@@ -147,10 +238,10 @@ class EventQueue
     void reschedule(Event *ev, Tick when);
 
     /** True if no events are pending. */
-    bool empty() const { return queue_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return queue_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Time of the next pending event; maxTick if none. */
     Tick nextEventTime() const;
@@ -174,27 +265,70 @@ class EventQueue
     /** Total events processed since construction. */
     std::uint64_t processedCount() const { return processed_; }
 
+    /** Current bucket count (calendar engine only; 0 on heap). */
+    std::size_t calendarBuckets() const { return buckets_.size(); }
+
+    /** Current bucket width in ticks (calendar engine only). */
+    Tick calendarBucketWidth() const { return width_; }
+
     const std::string &name() const { return name_; }
 
   private:
+    /** Engine-independent ordering: (when, priority, insertion seq). */
     struct Less
     {
         bool
         operator()(const Event *a, const Event *b) const
         {
-            if (a->when() != b->when())
-                return a->when() < b->when();
-            if (a->priority() != b->priority())
-                return a->priority() < b->priority();
+            if (a->when_ != b->when_)
+                return a->when_ < b->when_;
+            if (a->priority_ != b->priority_)
+                return a->priority_ < b->priority_;
             return a->seq_ < b->seq_;
         }
     };
 
+    /** One wheel slot: a (when, priority, seq)-sorted intrusive list. */
+    struct Bucket
+    {
+        Event *head = nullptr;
+        Event *tail = nullptr;
+    };
+
+    std::size_t bucketIndex(Tick when) const
+    {
+        return static_cast<std::size_t>(when / width_) &
+               (buckets_.size() - 1);
+    }
+
+    void calInsert(Event *ev);
+    void calRemove(Event *ev);
+    /** Cheapest pending event, nullptr when empty (caches result). */
+    Event *calFindMin() const;
+    void calResize(std::size_t newBuckets);
+    void calMaybeShrink();
+
+    /** Detach the cheapest pending event, nullptr when empty. */
+    Event *popMin();
+
     std::string name_;
+    QueueEngine engine_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
-    std::set<Event *, Less> queue_;
+    std::size_t size_ = 0;
+
+    /** heap engine state */
+    std::set<Event *, Less> set_;
+
+    /** @name calendar engine state */
+    /// @{
+    std::vector<Bucket> buckets_;
+    Tick width_ = calInitialWidth;
+    /** Cached minimum; nullptr means "unknown", recomputed lazily.
+     *  When non-null it always points at the true minimum. */
+    mutable Event *minCache_ = nullptr;
+    /// @}
 };
 
 } // namespace gals

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Calendar-vs-heap EventQueue engine equivalence.
+ *
+ * The two engines must pop element-wise identical sequences — same
+ * event, same time — for any schedule/deschedule/reschedule/service
+ * history, including same-tick (priority, seq) ties and runUntil
+ * boundary hits. These tests drive both engines with identical
+ * deterministic churn and compare the full pop logs, and pin the
+ * calendar-specific machinery (dynamic resize, engine selection).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace gals;
+
+namespace
+{
+
+/** One (event id, fire time) pop record. */
+using PopLog = std::vector<std::pair<int, Tick>>;
+
+/**
+ * A queue plus N recording events and a deterministic churn driver.
+ * Two harnesses built from the same seed apply bit-identical op
+ * streams; any behavioural divergence between engines shows up as a
+ * pop-log mismatch.
+ */
+struct ChurnHarness
+{
+    EventQueue eq;
+    Rng rng;
+    PopLog log;
+    std::vector<std::unique_ptr<CallbackEvent>> events;
+
+    ChurnHarness(QueueEngine engine, int nEvents, std::uint64_t seed)
+        : eq("churn", engine), rng(seed)
+    {
+        for (int i = 0; i < nEvents; ++i) {
+            // Three priority classes create same-tick priority ties;
+            // same-priority same-tick schedules fall back to seq.
+            events.push_back(std::make_unique<CallbackEvent>(
+                [this, i] { log.emplace_back(i, eq.now()); },
+                "ev" + std::to_string(i), (i % 3) * 40));
+        }
+    }
+
+    void
+    churn(int ops)
+    {
+        for (int k = 0; k < ops; ++k) {
+            auto &ev = *events[rng.range(0, events.size() - 1)];
+            switch (rng.range(0, 9)) {
+              case 0:
+              case 1:
+              case 2: // schedule/reschedule nearby (often same tick)
+                eq.reschedule(&ev, eq.now() + rng.range(0, 3) * 10);
+                break;
+              case 3:
+              case 4: // schedule/reschedule far out (bucket laps)
+                eq.reschedule(&ev,
+                              eq.now() + rng.range(1, 500) * 1000);
+                break;
+              case 5: // cancel
+                if (ev.scheduled())
+                    eq.deschedule(&ev);
+                break;
+              case 6:
+              case 7: // service a few
+                eq.serviceOne();
+                break;
+              default: // run to a boundary events can land on exactly
+                eq.runUntil(eq.now() + rng.range(0, 40) * 10);
+                break;
+            }
+        }
+        eq.runAll();
+    }
+};
+
+PopLog
+churnLog(QueueEngine engine, int nEvents, int ops, std::uint64_t seed)
+{
+    ChurnHarness h(engine, nEvents, seed);
+    h.churn(ops);
+    return h.log;
+}
+
+} // namespace
+
+TEST(EngineEquivalence, RandomChurnPopOrderIdentical)
+{
+    for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+        const PopLog cal =
+            churnLog(QueueEngine::calendar, 32, 4000, seed);
+        const PopLog heap = churnLog(QueueEngine::heap, 32, 4000, seed);
+        ASSERT_FALSE(cal.empty());
+        EXPECT_EQ(cal, heap) << "seed " << seed;
+    }
+}
+
+TEST(EngineEquivalence, SameTickTieBreaksIdentical)
+{
+    // Everything lands on one tick: order must be (priority, seq) on
+    // both engines.
+    for (QueueEngine engine :
+         {QueueEngine::calendar, QueueEngine::heap}) {
+        EventQueue eq("ties", engine);
+        PopLog log;
+        std::vector<std::unique_ptr<CallbackEvent>> evs;
+        for (int i = 0; i < 16; ++i)
+            evs.push_back(std::make_unique<CallbackEvent>(
+                [&log, &eq, i] { log.emplace_back(i, eq.now()); },
+                "t" + std::to_string(i), (15 - i) % 4));
+        for (auto &ev : evs)
+            eq.schedule(ev.get(), 777);
+        eq.runAll();
+
+        PopLog expect;
+        for (int pri = 0; pri < 4; ++pri)
+            for (int i = 0; i < 16; ++i)
+                if ((15 - i) % 4 == pri)
+                    expect.emplace_back(i, 777);
+        EXPECT_EQ(log, expect) << queueEngineName(engine);
+    }
+}
+
+TEST(EngineEquivalence, PeriodicClockTrafficIdentical)
+{
+    // GALS-shaped traffic: five mismatched periodic clocks plus churny
+    // one-shots, compared across engines over many edges.
+    auto run = [](QueueEngine engine) {
+        EventQueue eq("clocks", engine);
+        PopLog log;
+        std::vector<std::unique_ptr<PeriodicEvent>> clocks;
+        const Tick periods[] = {1000, 1300, 2500, 997, 1111};
+        for (int i = 0; i < 5; ++i)
+            clocks.push_back(std::make_unique<PeriodicEvent>(
+                [&log, &eq, i] { log.emplace_back(i, eq.now()); },
+                periods[i], "clk" + std::to_string(i)));
+        for (int i = 0; i < 5; ++i)
+            eq.schedule(clocks[i].get(), 100 * i);
+        CallbackEvent oneShot([&log, &eq] { log.emplace_back(99,
+                                                             eq.now()); },
+                              "shot", Event::statsPri);
+        for (Tick t = 0; t < 400000; t += 50000) {
+            eq.runUntil(t + 49999);
+            eq.reschedule(&oneShot, eq.now() + 500);
+        }
+        eq.runUntil(500000);
+        for (auto &c : clocks)
+            c->cancelRepeat();
+        eq.runAll();
+        return log;
+    };
+    const PopLog cal = run(QueueEngine::calendar);
+    const PopLog heap = run(QueueEngine::heap);
+    ASSERT_GT(cal.size(), 1000u);
+    EXPECT_EQ(cal, heap);
+}
+
+TEST(CalendarQueue, ResizeGrowsAndShrinksWithPopulation)
+{
+    EventQueue eq("resize", QueueEngine::calendar);
+    EXPECT_EQ(eq.calendarBuckets(), EventQueue::calInitialBuckets);
+
+    std::vector<std::unique_ptr<CallbackEvent>> evs;
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        evs.push_back(std::make_unique<CallbackEvent>([] {}));
+        // Widely varying gaps: clustered ticks and distant outliers.
+        const Tick when = (i % 7 == 0) ? rng.range(1, 100)
+                                       : rng.range(1, 50'000'000);
+        eq.schedule(evs.back().get(), when);
+    }
+    EXPECT_GT(eq.calendarBuckets(), EventQueue::calInitialBuckets);
+    EXPECT_GE(eq.calendarBucketWidth(), 1u);
+
+    // Cancel everything; the wheel must shrink back to its floor.
+    for (auto &ev : evs)
+        eq.deschedule(ev.get());
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.calendarBuckets(), EventQueue::calInitialBuckets);
+}
+
+TEST(CalendarQueue, ResizedQueueStillPopsSorted)
+{
+    EventQueue eq("sorted", QueueEngine::calendar);
+    std::vector<std::unique_ptr<CallbackEvent>> evs;
+    std::vector<Tick> popped;
+    Rng rng(11);
+    for (int i = 0; i < 3000; ++i) {
+        evs.push_back(std::make_unique<CallbackEvent>(
+            [&popped, &eq] { popped.push_back(eq.now()); }));
+        eq.schedule(evs.back().get(), rng.range(0, 10'000'000));
+    }
+    eq.runAll();
+    ASSERT_EQ(popped.size(), 3000u);
+    EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+}
+
+TEST(CalendarQueue, EngineSelection)
+{
+    // The built-in default is the calendar engine (unless the tree was
+    // compiled with GALSSIM_HEAP_EVENTQUEUE).
+#ifndef GALSSIM_HEAP_EVENTQUEUE
+    EXPECT_EQ(EventQueue::defaultEngine(), QueueEngine::calendar);
+#endif
+    const QueueEngine saved = EventQueue::defaultEngine();
+    EventQueue::setDefaultEngine(QueueEngine::heap);
+    EventQueue byDefault;
+    EXPECT_EQ(byDefault.engine(), QueueEngine::heap);
+    EventQueue::setDefaultEngine(saved);
+
+    EventQueue explicitCal("c", QueueEngine::calendar);
+    EXPECT_EQ(explicitCal.engine(), QueueEngine::calendar);
+    EXPECT_EQ(explicitCal.calendarBuckets(),
+              EventQueue::calInitialBuckets);
+    EventQueue explicitHeap("h", QueueEngine::heap);
+    EXPECT_EQ(explicitHeap.engine(), QueueEngine::heap);
+    EXPECT_EQ(explicitHeap.calendarBuckets(), 0u);
+
+    EXPECT_EQ(parseQueueEngine("calendar"), QueueEngine::calendar);
+    EXPECT_EQ(parseQueueEngine("heap"), QueueEngine::heap);
+    EXPECT_STREQ(queueEngineName(QueueEngine::calendar), "calendar");
+    EXPECT_STREQ(queueEngineName(QueueEngine::heap), "heap");
+}
+
+TEST(CalendarQueue, EventDestructorDeschedulesAcrossResize)
+{
+    // Destroying still-scheduled events must stay safe while the
+    // wheel is far from its initial geometry.
+    EventQueue eq("dtor", QueueEngine::calendar);
+    {
+        std::vector<std::unique_ptr<CallbackEvent>> evs;
+        Rng rng(3);
+        for (int i = 0; i < 200; ++i) {
+            evs.push_back(std::make_unique<CallbackEvent>([] {}));
+            eq.schedule(evs.back().get(), rng.range(1, 1'000'000));
+        }
+        // evs destructs here, one deschedule (and shrink) at a time.
+    }
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextEventTime(), maxTick);
+}

@@ -314,6 +314,82 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(997, 1009, 13, 1u, true),
         std::make_tuple(1009, 997, 13, 1u, false)));
 
+/**
+ * Entry-pool reuse: cycle far more items than the channel has pooled
+ * nodes under mismatched clocks, interleaving mid-list squashes. FIFO
+ * order of survivors must hold through arbitrary node recycling.
+ */
+TEST(AsyncChannel, IntrusivePoolReuseKeepsOrderUnderChurn)
+{
+    EventQueue eq;
+    ClockDomain prod(eq, "p", 997);
+    ClockDomain cons(eq, "c", 1303, 211);
+    Channel<std::uint64_t> ch("ch", ChannelMode::asyncFifo, prod, cons,
+                              4, 2);
+
+    std::uint64_t next_push = 0;
+    std::uint64_t last_pop = 0;
+    std::uint64_t popped = 0, squashed = 0;
+    bool ordered = true;
+
+    prod.addTicker([&] {
+        if (next_push < 5000 && ch.canPush())
+            ch.push(++next_push);
+    });
+    cons.addTicker([&] {
+        // Every ~16 consumer edges, squash the odd survivors from the
+        // middle of the list instead of popping.
+        if (cons.cycle() % 16 == 0 && ch.rawSize() > 1) {
+            squashed += ch.squash(
+                [](std::uint64_t v) { return v % 2 == 1; });
+            return;
+        }
+        while (!ch.empty()) {
+            if (ch.front() <= last_pop)
+                ordered = false;
+            last_pop = ch.front();
+            ch.pop();
+            ++popped;
+        }
+    });
+
+    prod.start();
+    cons.start();
+    eq.runUntil(997 * 20000);
+
+    EXPECT_TRUE(ordered);
+    EXPECT_EQ(next_push, 5000u);
+    // Cycled the 4-node pool three orders of magnitude over.
+    EXPECT_EQ(popped + squashed + ch.rawSize(), 5000u);
+    EXPECT_EQ(ch.pops(), popped);
+    EXPECT_EQ(ch.squashedItems(), squashed);
+    EXPECT_GT(squashed, 0u);
+}
+
+/** Move-only payloads: the pooled entries placement-construct items,
+ *  so channels work without default- or copy-constructible types. */
+TEST(AsyncChannel, MoveOnlyPayload)
+{
+    Harness h(1000, 1000);
+    Channel<std::unique_ptr<int>> ch("ch", ChannelMode::asyncFifo,
+                                     h.prod, h.cons, 2, 2);
+    h.prod.start();
+    h.cons.start();
+    h.eq.runUntil(0);
+    ch.push(std::make_unique<int>(41));
+    ch.push(std::make_unique<int>(42));
+    h.eq.runUntil(5000);
+    ASSERT_FALSE(ch.empty());
+    EXPECT_EQ(*ch.front(), 41);
+    std::unique_ptr<int> got = std::move(ch.front());
+    ch.pop();
+    EXPECT_EQ(*got, 41);
+    ASSERT_FALSE(ch.empty());
+    EXPECT_EQ(*ch.front(), 42);
+    ch.clear(); // destroys the live item, returns its node
+    EXPECT_EQ(ch.rawSize(), 0u);
+}
+
 /** The same properties for the synchronous latch configuration. */
 TEST(SyncChannel, PropertySweepSameClock)
 {

@@ -189,3 +189,59 @@ TEST(ClockDomain, LastEdgeTracksMostRecent)
     eq.runUntil(900);
     EXPECT_EQ(cd.lastEdge(), 800u);
 }
+
+TEST(ClockDomain, RemoveTickerHeadMiddleTail)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 100);
+    std::string log;
+    auto *a = cd.addTicker([&] { log += 'a'; }, 10);
+    auto *b = cd.addTicker([&] { log += 'b'; }, 20);
+    auto *c = cd.addTicker([&] { log += 'c'; }, 30);
+    auto *d = cd.addTicker([&] { log += 'd'; }, 40);
+    cd.start();
+    eq.runUntil(0);
+    EXPECT_EQ(log, "abcd");
+
+    log.clear();
+    cd.removeTicker(b); // middle
+    eq.runUntil(100);
+    EXPECT_EQ(log, "acd");
+
+    log.clear();
+    cd.removeTicker(a); // head
+    eq.runUntil(200);
+    EXPECT_EQ(log, "cd");
+
+    log.clear();
+    cd.removeTicker(d); // tail
+    eq.runUntil(300);
+    EXPECT_EQ(log, "c");
+
+    log.clear();
+    cd.removeTicker(c); // sole remaining ticker
+    eq.runUntil(400);
+    EXPECT_EQ(log, "");
+
+    // Registration after emptying the list works again.
+    cd.addTicker([&] { log += 'e'; });
+    eq.runUntil(500);
+    EXPECT_EQ(log, "e");
+}
+
+TEST(ClockDomain, TickerPriorityAndRegistrationOrder)
+{
+    // Equal priorities keep registration order; lower priority runs
+    // first regardless of registration order.
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 100);
+    std::string log;
+    cd.addTicker([&] { log += '1'; }, 50);
+    cd.addTicker([&] { log += '2'; }, 50);
+    cd.addTicker([&] { log += '0'; }, 10);
+    cd.addTicker([&] { log += '3'; }, 50);
+    cd.addTicker([&] { log += '9'; }, 90);
+    cd.start();
+    eq.runUntil(0);
+    EXPECT_EQ(log, "01239");
+}

@@ -114,8 +114,9 @@ TEST(Rename, EpochIncrementsPerAllocation)
     DynInst b = makeOp(1);
     r.rename(b);
     EXPECT_GE(b.destEpoch, 1u);
-    if (a.physDest == b.physDest)
+    if (a.physDest == b.physDest) {
         EXPECT_GT(b.destEpoch, a.destEpoch);
+    }
 }
 
 TEST(Rename, CheckpointRestore)
