@@ -30,6 +30,10 @@ figureHeader(const char *fig, const char *what,
     std::printf("%s: %s\n", fig, what);
     std::printf("instructions per run: %llu\n",
                 static_cast<unsigned long long>(opts.instructions));
+    if (opts.replicated())
+        std::printf("seeds per point: %zu (metrics are replica "
+                    "means; see replication summary)\n",
+                    opts.seedList().size());
     std::printf("==============================================="
                 "=====================\n");
 }

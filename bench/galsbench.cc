@@ -9,11 +9,21 @@
  * the paper-style tables (default) or as raw JSON-lines / CSV
  * records.
  *
+ * Sweeps are archivable: `--output PATH` streams every per-run record
+ * into a trajectory file (JSON-lines, or CSV when PATH ends in .csv)
+ * and `--manifest PATH` writes a run manifest (engine, seeds, config
+ * hashes); both are byte-identical for any `--jobs` on any machine.
+ * `--seeds N` / `--seed-list a,b,c` replicate every grid point across
+ * workload seeds, and the table/JSON/CSV reports then carry
+ * mean ± 95% CI columns (per-replica rows stay in the trajectory).
+ *
  * Usage:
  *   galsbench --list [--format md]
  *   galsbench --scenario fig05 [--scenario fig09 ...] | --all
  *             [--jobs N] [--format table|json|csv]
  *             [--insts N] [--bench NAME] [--seed N]
+ *             [--seeds N | --seed-list a,b,c]
+ *             [--output PATH] [--manifest PATH]
  *             [--engine calendar|heap]
  *
  * Environment: GALSSIM_INSTS, GALSSIM_BENCH and GALSSIM_ENGINE provide
@@ -21,10 +31,14 @@
  * knobs the old drivers honoured).
  */
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +46,8 @@
 #include "runner/engine.hh"
 #include "runner/reporter.hh"
 #include "runner/scenario.hh"
+#include "runner/stats.hh"
+#include "runner/trajectory.hh"
 #include "sim/event_queue.hh"
 
 using namespace gals;
@@ -49,6 +65,8 @@ usage(std::FILE *to, int exitCode)
         "       galsbench (--scenario NAME)... | --all\n"
         "                 [--jobs N] [--format table|json|csv]\n"
         "                 [--insts N] [--bench NAME] [--seed N]\n"
+        "                 [--seeds N | --seed-list a,b,c]\n"
+        "                 [--output PATH] [--manifest PATH]\n"
         "                 [--engine calendar|heap]\n"
         "\n"
         "  --list          list registered scenarios and exit\n"
@@ -64,6 +82,16 @@ usage(std::FILE *to, int exitCode)
         "  --bench NAME    restrict the benchmark sweep (repeatable,\n"
         "                  or GALSSIM_BENCH)\n"
         "  --seed N        workload seed (default 0)\n"
+        "  --seeds N       replicate every grid point over N seeds\n"
+        "                  (seed, seed+1, ...); reports show\n"
+        "                  mean +/- 95%% CI\n"
+        "  --seed-list S   explicit comma-separated replica seeds\n"
+        "                  (overrides --seed/--seeds)\n"
+        "  --output PATH   append every per-run record to a\n"
+        "                  trajectory file: JSON-lines, or CSV when\n"
+        "                  PATH ends in .csv\n"
+        "  --manifest PATH write a run manifest (version, engine,\n"
+        "                  seeds, per-scenario config hashes)\n"
         "  --engine E      event-queue engine: calendar (default) or\n"
         "                  heap (A/B baseline; or GALSSIM_ENGINE).\n"
         "                  Results are identical for either.\n");
@@ -83,15 +111,66 @@ argValue(int argc, char **argv, int &i)
 std::uint64_t
 numericValue(const char *flag, const char *text)
 {
+    // strtoull silently wraps negatives ("-1" -> 2^64-1) and
+    // saturates out-of-range values with only errno to show for it,
+    // so reject a leading minus sign explicitly — skipping the same
+    // whitespace set strtoull itself skips — and check ERANGE.
+    const char *p = text;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
     char *end = nullptr;
+    errno = 0;
     const std::uint64_t v = std::strtoull(text, &end, 10);
-    if (end == text || *end != '\0') {
-        std::fprintf(stderr, "galsbench: %s expects a number, got "
-                             "'%s'\n",
+    if (*p == '-' || end == text || *end != '\0' ||
+        errno == ERANGE) {
+        std::fprintf(stderr,
+                     "galsbench: %s expects a non-negative number, "
+                     "got '%s'\n",
                      flag, text);
         usage(stderr, 2);
     }
     return v;
+}
+
+/** numericValue() additionally bounded to `unsigned` range, so
+ *  --jobs / --seeds cannot silently truncate through a cast. */
+unsigned
+unsignedValue(const char *flag, const char *text)
+{
+    const std::uint64_t v = numericValue(flag, text);
+    if (v > std::numeric_limits<unsigned>::max()) {
+        std::fprintf(stderr, "galsbench: %s value %s is out of "
+                             "range\n",
+                     flag, text);
+        usage(stderr, 2);
+    }
+    return static_cast<unsigned>(v);
+}
+
+/** Parse the --seed-list value: comma-separated non-negative
+ *  integers, at least one. */
+std::vector<std::uint64_t>
+seedListValue(const char *text)
+{
+    std::vector<std::uint64_t> seeds;
+    const std::string s = text;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        const std::string item = s.substr(pos, comma - pos);
+        if (item.empty()) {
+            std::fprintf(stderr,
+                         "galsbench: --seed-list expects "
+                         "comma-separated numbers, got '%s'\n",
+                         text);
+            usage(stderr, 2);
+        }
+        seeds.push_back(numericValue("--seed-list", item.c_str()));
+        pos = comma + 1;
+    }
+    return seeds;
 }
 
 } // namespace
@@ -106,6 +185,7 @@ main(int argc, char **argv)
     if (const char *env = std::getenv("GALSSIM_ENGINE"))
         EventQueue::setDefaultEngine(parseQueueEngine(env));
     std::vector<std::string> selected, cliBenchmarks;
+    std::string outputPath, manifestPath;
     bool listOnly = false, runAll = false;
     unsigned jobs = 1;
     OutputFormat format = OutputFormat::table;
@@ -119,8 +199,7 @@ main(int argc, char **argv)
         } else if (!std::strcmp(arg, "--scenario")) {
             selected.push_back(argValue(argc, argv, i));
         } else if (!std::strcmp(arg, "--jobs")) {
-            jobs = static_cast<unsigned>(
-                numericValue("--jobs", argValue(argc, argv, i)));
+            jobs = unsignedValue("--jobs", argValue(argc, argv, i));
         } else if (!std::strcmp(arg, "--format")) {
             format = parseOutputFormat(argValue(argc, argv, i));
         } else if (!std::strcmp(arg, "--insts")) {
@@ -136,6 +215,21 @@ main(int argc, char **argv)
         } else if (!std::strcmp(arg, "--seed")) {
             opts.seed =
                 numericValue("--seed", argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--seeds")) {
+            opts.seedReplicas =
+                unsignedValue("--seeds", argValue(argc, argv, i));
+            if (opts.seedReplicas == 0) {
+                std::fprintf(stderr,
+                             "galsbench: --seeds must be > 0\n");
+                return 2;
+            }
+        } else if (!std::strcmp(arg, "--seed-list")) {
+            opts.explicitSeeds =
+                seedListValue(argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--output")) {
+            outputPath = argValue(argc, argv, i);
+        } else if (!std::strcmp(arg, "--manifest")) {
+            manifestPath = argValue(argc, argv, i);
         } else if (!std::strcmp(arg, "--engine")) {
             EventQueue::setDefaultEngine(
                 parseQueueEngine(argValue(argc, argv, i)));
@@ -154,6 +248,12 @@ main(int argc, char **argv)
         opts.benchmarks = std::move(cliBenchmarks);
 
     if (listOnly) {
+        if (!outputPath.empty() || !manifestPath.empty()) {
+            std::fprintf(stderr,
+                         "galsbench: --output/--manifest are only "
+                         "valid when running scenarios\n");
+            return 2;
+        }
         if (format == OutputFormat::markdown) {
             // The checked-in catalog documents the registry at stock
             // sweep defaults, deliberately ignoring GALSSIM_INSTS /
@@ -191,7 +291,11 @@ main(int argc, char **argv)
         usage(stderr, 2);
     }
 
-    const ExperimentEngine engine(jobs);
+    // Resolve every scenario before opening the sink: the sink
+    // truncates --output on open, and a typo'd scenario name must
+    // not destroy a previously archived trajectory.
+    std::vector<const Scenario *> scenarios;
+    scenarios.reserve(selected.size());
     for (const std::string &name : selected) {
         const Scenario *scenario = registry.find(name);
         if (!scenario) {
@@ -201,23 +305,84 @@ main(int argc, char **argv)
                          name.c_str());
             return 2;
         }
+        scenarios.push_back(scenario);
+    }
 
-        const std::vector<RunConfig> runs = scenario->makeRuns(opts);
+    std::unique_ptr<TrajectorySink> sink;
+    if (!outputPath.empty())
+        sink = std::make_unique<TrajectorySink>(outputPath);
+    std::vector<ManifestScenario> manifestScenarios;
+
+    const std::size_t replicas = opts.seedList().size();
+    const ExperimentEngine engine(jobs);
+    for (const Scenario *scenario : scenarios) {
+        std::size_t gridSize = 0;
+        const std::vector<RunConfig> runs =
+            expandReplicatedRuns(*scenario, opts, &gridSize);
         const std::vector<RunResults> results = engine.run(runs);
 
+        if (sink)
+            sink->append(scenario->name, runs, results);
+        manifestScenarios.push_back({scenario->name, gridSize,
+                                     replicas, runConfigHash(runs)});
+
+        if (replicas <= 1) {
+            switch (format) {
+              case OutputFormat::table:
+                scenario->reduce(opts, SweepView{results});
+                break;
+              case OutputFormat::json:
+                writeJsonLines(std::cout, scenario->name, runs,
+                               results);
+                break;
+              case OutputFormat::csv:
+                writeCsv(std::cout, scenario->name, runs, results);
+                break;
+              case OutputFormat::markdown:
+                break; // rejected above; --list handles md itself
+            }
+            continue;
+        }
+
+        if (gridSize == 0) {
+            // Literature-only scenario (empty grid): nothing to
+            // aggregate, but its table report is still valid.
+            if (format == OutputFormat::table)
+                scenario->reduce(opts, SweepView{results});
+            continue;
+        }
+
+        // The first replica block is the grid the aggregated
+        // reports describe.
+        const std::vector<RunConfig> gridCfgs(
+            runs.begin(),
+            runs.begin() + static_cast<std::ptrdiff_t>(gridSize));
+        const ReplicaSummary summary =
+            summarizeReplicas(gridSize, results);
         switch (format) {
           case OutputFormat::table:
-            scenario->reduce(opts, results);
+            scenario->reduce(opts, SweepView{summary.mean, &summary});
+            writeReplicationTable(std::cout, scenario->name, gridCfgs,
+                                  summary);
             break;
           case OutputFormat::json:
-            writeJsonLines(std::cout, scenario->name, runs, results);
+            writeJsonLinesSummary(std::cout, scenario->name, gridCfgs,
+                                  summary);
             break;
           case OutputFormat::csv:
-            writeCsv(std::cout, scenario->name, runs, results);
+            writeCsvSummary(std::cout, scenario->name, gridCfgs,
+                            summary);
             break;
           case OutputFormat::markdown:
-            break; // rejected above; --list handles md itself
+            break;
         }
     }
+
+    if (sink)
+        sink->close();
+    if (!manifestPath.empty())
+        writeManifestFile(manifestPath, opts,
+                          queueEngineName(EventQueue::defaultEngine()),
+                          outputPath, manifestScenarios);
     return 0;
 }

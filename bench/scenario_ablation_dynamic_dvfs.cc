@@ -60,8 +60,8 @@ ablationDynamicDvfsScenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         figureHeader("Extension",
                      "dynamic application-driven DVFS vs static "
                      "policies (paper section 6)",

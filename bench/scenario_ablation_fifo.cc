@@ -55,8 +55,8 @@ ablationFifoScenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         figureHeader("Ablation",
                      "FIFO synchronizer depth and capacity "
                      "sensitivity (gcc + fpppp)",

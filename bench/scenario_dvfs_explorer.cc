@@ -85,8 +85,8 @@ dvfsExplorerScenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         const std::string bench = primaryBenchmark(opts, "gcc");
         std::printf("DVFS explorer: %s, %llu instructions (base = "
                     "fully synchronous at nominal clock/voltage)\n\n",

@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.hh"
 #include "bench/register_all.hh"
+#include "runner/stats.hh"
 
 namespace gals::bench
 {
@@ -37,15 +38,16 @@ fig05Scenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         figureHeader("Figure 5",
                      "GALS performance relative to base (equal clocks)",
                      opts);
 
         const auto names = opts.benchmarkSet();
-        std::printf("%-10s %10s %10s %12s\n", "benchmark", "base IPC",
-                    "gals IPC", "rel. perf");
+        std::printf("%-10s %10s %10s %12s%s\n", "benchmark",
+                    "base IPC", "gals IPC", "rel. perf",
+                    sweep.replicas ? "   ± 95% CI" : "");
 
         MeanTracker mean;
         double fpppp_perf = 0.0, min_perf = 2.0;
@@ -54,9 +56,22 @@ fig05Scenario()
             const PairResults pr = pairAt(results, i);
             const double rel =
                 pr.galsRun.ipcNominal / pr.base.ipcNominal;
-            std::printf("%-10s %10.3f %10.3f %12.3f\n",
+            std::printf("%-10s %10.3f %10.3f %12.3f",
                         names[i].c_str(), pr.base.ipcNominal,
                         pr.galsRun.ipcNominal, rel);
+            if (sweep.replicas) {
+                // Delta-method CI of the gals/base IPC ratio from
+                // each side's replica spread (pair i = grid points
+                // 2i / 2i+1, the appendPair() layout).
+                const MetricSummary *base =
+                    sweep.replicas->metric(2 * i, "ipc_nominal");
+                const MetricSummary *galsIpc =
+                    sweep.replicas->metric(2 * i + 1, "ipc_nominal");
+                std::printf("   ± %.3f",
+                            ratioCi95(galsIpc->mean, galsIpc->ci95,
+                                      base->mean, base->ci95));
+            }
+            std::printf("\n");
             mean.add(rel);
             if (names[i] == "fpppp")
                 fpppp_perf = rel;

@@ -37,8 +37,8 @@ fig07Scenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         figureHeader("Figure 7",
                      "slip breakdown: FIFO vs pipeline time "
                      "(normalized to GALS slip)",

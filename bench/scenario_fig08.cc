@@ -42,8 +42,8 @@ fig08Scenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         figureHeader("Figure 8",
                      "mis-speculated instructions and occupancies",
                      opts);

@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.hh"
 #include "bench/register_all.hh"
+#include "runner/stats.hh"
 
 namespace gals::bench
 {
@@ -37,21 +38,44 @@ fig09Scenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         figureHeader("Figure 9",
                      "GALS energy and power normalized to base", opts);
 
         const auto names = opts.benchmarkSet();
-        std::printf("%-10s %12s %12s %12s\n", "benchmark", "energy",
-                    "power", "perf");
+        std::printf("%-10s %12s%s %12s%s %12s\n", "benchmark",
+                    "energy", sweep.replicas ? "    ± 95% CI" : "",
+                    "power", sweep.replicas ? "    ± 95% CI" : "",
+                    "perf");
 
         MeanTracker e, p;
         for (std::size_t i = 0; i < names.size(); ++i) {
             const PairResults pr = pairAt(results, i);
-            std::printf("%-10s %12.3f %12.3f %12.3f\n",
-                        names[i].c_str(), pr.energyRatio(),
-                        pr.powerRatio(),
+            std::printf("%-10s %12.3f", names[i].c_str(),
+                        pr.energyRatio());
+            if (sweep.replicas) {
+                // gals/base ratio CI per delta method; pair i lives
+                // at grid points 2i / 2i+1 (appendPair() layout).
+                const MetricSummary *be =
+                    sweep.replicas->metric(2 * i, "energy_j");
+                const MetricSummary *ge =
+                    sweep.replicas->metric(2 * i + 1, "energy_j");
+                std::printf("    ± %.3f",
+                            ratioCi95(ge->mean, ge->ci95, be->mean,
+                                      be->ci95));
+            }
+            std::printf(" %12.3f", pr.powerRatio());
+            if (sweep.replicas) {
+                const MetricSummary *bp =
+                    sweep.replicas->metric(2 * i, "avg_power_w");
+                const MetricSummary *gp =
+                    sweep.replicas->metric(2 * i + 1, "avg_power_w");
+                std::printf("    ± %.3f",
+                            ratioCi95(gp->mean, gp->ci95, bp->mean,
+                                      bp->ci95));
+            }
+            std::printf(" %12.3f\n",
                         pr.galsRun.ipcNominal / pr.base.ipcNominal);
             e.add(pr.energyRatio());
             p.add(pr.powerRatio());

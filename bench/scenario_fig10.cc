@@ -35,8 +35,8 @@ fig10Scenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         figureHeader("Figure 10",
                      "energy breakdown into macro blocks "
                      "(normalized to base total)",

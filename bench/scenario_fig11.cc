@@ -51,8 +51,8 @@ fig11Scenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         figureHeader("Figure 11",
                      "generic selective slowdown "
                      "(fetch -10%, mem -10%, fp -50%)",

@@ -43,8 +43,8 @@ fig12Scenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         figureHeader("Figure 12",
                      "ijpeg: fetch -10%, fp -20%, memory clock sweep "
                      "(gals-00/10/20/50)",

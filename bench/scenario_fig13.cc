@@ -40,8 +40,8 @@ fig13Scenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         figureHeader("Figure 13",
                      "gcc: fetch -10%, FP clock -50% (gals-1) / 3x "
                      "slower (gals-2)",

@@ -53,8 +53,8 @@ phaseSensitivityScenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         figureHeader("Phase sensitivity (section 5.1)",
                      "GALS run time spread across random clock phases",
                      opts);

@@ -31,8 +31,8 @@ quickstartScenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         const std::string bench = primaryBenchmark(opts, "gcc");
         std::printf("galssim quickstart: %s, %llu instructions\n",
                     bench.c_str(),

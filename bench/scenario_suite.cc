@@ -33,8 +33,8 @@ suiteScenario()
         return runs;
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &results) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &sweep) {
+        const std::vector<RunResults> &results = sweep.runs;
         const auto names = opts.benchmarkSet();
         std::printf("%-10s %6s %6s | %5s %5s %5s | %5s %5s | %5s %5s "
                     "| %5s %5s\n",

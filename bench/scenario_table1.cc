@@ -67,8 +67,7 @@ table1Scenario()
         return std::vector<RunConfig>();
     };
 
-    s.reduce = [](const SweepOptions &opts,
-                  const std::vector<RunResults> &) {
+    s.reduce = [](const SweepOptions &opts, const SweepView &) {
         figureHeader("Table 1",
                      "global clock skew trends across process "
                      "generations (published data + trend check)",

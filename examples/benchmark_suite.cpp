@@ -39,6 +39,8 @@ main(int argc, char **argv)
     const Scenario &scenario = *registry.find("suite");
 
     const ExperimentEngine engine(0); // all hardware threads
-    scenario.reduce(opts, engine.run(scenario.makeRuns(opts)));
+    const std::vector<RunResults> results =
+        engine.run(scenario.makeRuns(opts));
+    scenario.reduce(opts, SweepView{results});
     return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include <cstring>
 #include <memory>
 
 #include "dvfs/controller.hh"
@@ -13,6 +14,106 @@ effectivePhaseSeed(const RunConfig &cfg)
 {
     return cfg.phaseSeed == phaseSeedFollowsWorkload ? cfg.seed
                                                      : cfg.phaseSeed;
+}
+
+const char *
+galssimVersion()
+{
+    return "0.3.0";
+}
+
+namespace
+{
+
+/** FNV-1a over an explicitly little-endian byte stream, so the hash
+ *  is independent of host endianness and integer widths. */
+struct CanonicalHash
+{
+    std::uint64_t h = 14695981039346656037ull;
+
+    void
+    byte(unsigned char b)
+    {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<unsigned char>(v >> (8 * i)));
+    }
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+    void
+    flag(bool v)
+    {
+        byte(v ? 1 : 0);
+    }
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s)
+            byte(static_cast<unsigned char>(c));
+    }
+};
+
+} // namespace
+
+std::uint64_t
+runConfigHash(const RunConfig &cfg)
+{
+    CanonicalHash hash;
+    hash.str(cfg.benchmark);
+    hash.u64(cfg.instructions);
+    hash.flag(cfg.gals);
+    for (double s : cfg.dvfs.slowdown)
+        hash.f64(s);
+    hash.flag(cfg.dvfs.scaleVoltage);
+    hash.u64(cfg.seed);
+    hash.u64(effectivePhaseSeed(cfg));
+    hash.flag(cfg.dynamicDvfs);
+
+    const ProcessorConfig &pc = cfg.proc;
+    hash.u64(pc.nominalPeriod);
+    hash.u64(pc.fifoCapacity);
+    hash.u64(pc.msgFifoCapacity);
+    hash.u64(pc.syncEdges);
+    hash.flag(pc.randomPhase);
+    hash.u64(pc.watchdogCycles);
+
+    const CoreConfig &core = pc.core;
+    for (unsigned v :
+         {core.fetchWidth, core.decodeWidth, core.dispatchWidth,
+          core.commitWidth, core.intIssueWidth, core.fpIssueWidth,
+          core.memIssueWidth, core.fetchQueueSize, core.intQueueSize,
+          core.fpQueueSize, core.memQueueSize, core.robSize,
+          core.lsqSize, core.numIntPhysRegs, core.numFpPhysRegs,
+          core.intAlus, core.fpAlus, core.intMuls, core.fpMuls,
+          core.memPorts, core.decodePipeDepth})
+        hash.u64(v);
+
+    hash.f64(pc.tech.vddNominal);
+    hash.f64(pc.tech.vt);
+    hash.f64(pc.tech.alpha);
+    return hash.h;
+}
+
+std::uint64_t
+runConfigHash(const std::vector<RunConfig> &cfgs)
+{
+    CanonicalHash hash;
+    hash.u64(cfgs.size());
+    for (const RunConfig &cfg : cfgs)
+        hash.u64(runConfigHash(cfg));
+    return hash.h;
 }
 
 RunResults

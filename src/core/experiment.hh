@@ -102,6 +102,30 @@ struct RunResults
     /// @}
 };
 
+/**
+ * Library version string, recorded in run manifests so archived
+ * trajectory files can be matched to the simulator that produced
+ * them. Bump whenever a change alters simulation results or the
+ * meaning of a RunConfig field.
+ */
+const char *galssimVersion();
+
+/**
+ * Stable 64-bit hash of everything that defines a run: benchmark,
+ * instruction budget, GALS/DVFS settings, seeds (with the phase-seed
+ * sentinel resolved) and the run-defining ProcessorConfig scalars
+ * (core widths and sizes, FIFO capacities, tech voltages). The hash
+ * is computed over a canonical little-endian byte stream, so it is
+ * identical across machines and job counts — it is what makes run
+ * manifests byte-diffable. Deep structural config (branch predictor,
+ * cache geometry, clock hierarchy) is covered by galssimVersion()
+ * instead.
+ */
+std::uint64_t runConfigHash(const RunConfig &cfg);
+
+/** Chained hash of a whole grid (order-sensitive, size included). */
+std::uint64_t runConfigHash(const std::vector<RunConfig> &cfgs);
+
 /** Execute one run. */
 RunResults runOne(const RunConfig &cfg);
 

@@ -1,10 +1,12 @@
 #include "runner/reporter.hh"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 
 #include "runner/scenario.hh"
+#include "runner/stats.hh"
 #include "sim/logging.hh"
 
 namespace gals::runner
@@ -13,7 +15,7 @@ namespace gals::runner
 namespace
 {
 
-/** Round-trip-exact double rendering (shortest form, %.17g). */
+/** Round-trip-exact rendering of a finite double (%.17g). */
 std::string
 num(double v)
 {
@@ -30,52 +32,33 @@ num(std::uint64_t v)
     return buf;
 }
 
-/** The scalar metrics every reporter emits, in column order. */
-struct MetricColumn
+/** JSON number token: `null` for NaN/infinity, which %.17g would
+ *  render as the invalid bare tokens `nan` / `inf`. */
+std::string
+jsonNum(double v)
 {
-    const char *name;
-    std::string (*get)(const RunResults &);
-};
+    return std::isfinite(v) ? num(v) : "null";
+}
 
-const MetricColumn metricColumns[] = {
-    {"committed", [](const RunResults &r) { return num(r.committed); }},
-    {"fetched", [](const RunResults &r) { return num(r.fetched); }},
-    {"wrong_path_fetched",
-     [](const RunResults &r) { return num(r.wrongPathFetched); }},
-    {"ticks", [](const RunResults &r) { return num(r.ticks); }},
-    {"time_sec", [](const RunResults &r) { return num(r.timeSec); }},
-    {"ipc_nominal",
-     [](const RunResults &r) { return num(r.ipcNominal); }},
-    {"energy_j", [](const RunResults &r) { return num(r.energyJ); }},
-    {"avg_power_w",
-     [](const RunResults &r) { return num(r.avgPowerW); }},
-    {"fifo_events",
-     [](const RunResults &r) { return num(r.fifoEvents); }},
-    {"avg_slip_cycles",
-     [](const RunResults &r) { return num(r.avgSlipCycles); }},
-    {"avg_fifo_slip_cycles",
-     [](const RunResults &r) { return num(r.avgFifoSlipCycles); }},
-    {"misspec_fraction",
-     [](const RunResults &r) { return num(r.misspecFraction); }},
-    {"mispredicts_per_k",
-     [](const RunResults &r) { return num(r.mispredictsPerKCommitted); }},
-    {"dir_accuracy",
-     [](const RunResults &r) { return num(r.dirAccuracy); }},
-    {"avg_rob_occ", [](const RunResults &r) { return num(r.avgRobOcc); }},
-    {"avg_int_renames",
-     [](const RunResults &r) { return num(r.avgIntRenames); }},
-    {"avg_fp_renames",
-     [](const RunResults &r) { return num(r.avgFpRenames); }},
-    {"int_iq_occ", [](const RunResults &r) { return num(r.intIQOcc); }},
-    {"fp_iq_occ", [](const RunResults &r) { return num(r.fpIQOcc); }},
-    {"mem_iq_occ", [](const RunResults &r) { return num(r.memIQOcc); }},
-    {"il1_miss_rate",
-     [](const RunResults &r) { return num(r.il1MissRate); }},
-    {"dl1_miss_rate",
-     [](const RunResults &r) { return num(r.dl1MissRate); }},
-    {"l2_miss_rate",
-     [](const RunResults &r) { return num(r.l2MissRate); }},
-};
+/** CSV number field: empty for NaN/infinity (the conventional
+ *  missing-value encoding). */
+std::string
+csvNum(double v)
+{
+    return std::isfinite(v) ? num(v) : std::string();
+}
+
+/** One metric rendered for a per-run record: integral columns print
+ *  their exact uint64 value, doubles round-trip exact with
+ *  non-finite mapped per format. */
+std::string
+metricValue(const MetricAccessor &acc, const RunResults &r, bool json)
+{
+    if (acc.integral)
+        return num(acc.getU(r));
+    const double v = acc.get(r);
+    return json ? jsonNum(v) : csvNum(v);
+}
 
 void
 checkSizes(const std::vector<RunConfig> &cfgs,
@@ -103,6 +86,62 @@ parseOutputFormat(const std::string &name)
                "' (expected table, json, csv or md)");
 }
 
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 void
 writeJsonLines(std::ostream &os, const std::string &scenario,
                const std::vector<RunConfig> &cfgs,
@@ -112,25 +151,60 @@ writeJsonLines(std::ostream &os, const std::string &scenario,
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunConfig &c = cfgs[i];
         const RunResults &r = results[i];
-        os << "{\"scenario\":\"" << scenario << "\""
+        os << "{\"scenario\":" << jsonQuote(scenario)
            << ",\"index\":" << i
-           << ",\"benchmark\":\"" << r.benchmark << "\""
+           << ",\"benchmark\":" << jsonQuote(r.benchmark)
            << ",\"gals\":" << (r.gals ? "true" : "false")
            << ",\"dynamic_dvfs\":" << (c.dynamicDvfs ? "true" : "false")
            << ",\"instructions\":" << num(c.instructions)
            << ",\"seed\":" << num(c.seed)
            << ",\"phase_seed\":" << num(effectivePhaseSeed(c));
-        for (const MetricColumn &col : metricColumns)
-            os << ",\"" << col.name << "\":" << col.get(r);
+        for (const MetricAccessor &acc : metricAccessors())
+            os << ",\"" << acc.name
+               << "\":" << metricValue(acc, r, true);
         os << ",\"energy_nj\":{";
         bool first = true;
         for (const auto &[unit, nj] : r.unitEnergyNj) {
             if (!first)
                 os << ",";
             first = false;
-            os << "\"" << unit << "\":" << num(nj);
+            os << jsonQuote(unit) << ":" << jsonNum(nj);
         }
         os << "}}\n";
+    }
+}
+
+void
+writeCsvHeader(std::ostream &os, const RunResults &sample)
+{
+    os << "scenario,index,benchmark,gals,dynamic_dvfs,instructions,"
+          "seed,phase_seed";
+    for (const MetricAccessor &acc : metricAccessors())
+        os << "," << acc.name;
+    for (const auto &[unit, nj] : sample.unitEnergyNj)
+        os << "," << csvField("energy_nj." + unit);
+    os << "\n";
+}
+
+void
+writeCsvRows(std::ostream &os, const std::string &scenario,
+             const std::vector<RunConfig> &cfgs,
+             const std::vector<RunResults> &results)
+{
+    checkSizes(cfgs, results);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunConfig &c = cfgs[i];
+        const RunResults &r = results[i];
+        os << csvField(scenario) << "," << i << ","
+           << csvField(r.benchmark) << "," << (r.gals ? 1 : 0) << ","
+           << (c.dynamicDvfs ? 1 : 0) << "," << num(c.instructions)
+           << "," << num(c.seed) << ","
+           << num(effectivePhaseSeed(c));
+        for (const MetricAccessor &acc : metricAccessors())
+            os << "," << metricValue(acc, r, false);
+        for (const auto &[unit, nj] : r.unitEnergyNj)
+            os << "," << csvNum(nj);
+        os << "\n";
     }
 }
 
@@ -140,29 +214,81 @@ writeCsv(std::ostream &os, const std::string &scenario,
          const std::vector<RunResults> &results)
 {
     checkSizes(cfgs, results);
-
-    os << "scenario,index,benchmark,gals,dynamic_dvfs,instructions,"
-          "seed,phase_seed";
-    for (const MetricColumn &col : metricColumns)
-        os << "," << col.name;
     // Unit-energy columns from the first record; every run reports
     // the same unit set (the Unit enum).
-    if (!results.empty())
-        for (const auto &[unit, nj] : results.front().unitEnergyNj)
-            os << ",energy_nj." << unit;
+    writeCsvHeader(os, results.empty() ? RunResults() : results.front());
+    writeCsvRows(os, scenario, cfgs, results);
+}
+
+void
+writeJsonLinesSummary(std::ostream &os, const std::string &scenario,
+                      const std::vector<RunConfig> &gridCfgs,
+                      const ReplicaSummary &summary)
+{
+    gals_assert(gridCfgs.size() == summary.gridSize,
+                "summary reporter: ", gridCfgs.size(),
+                " grid configs vs grid size ", summary.gridSize);
+    const auto &accessors = metricAccessors();
+    for (std::size_t g = 0; g < summary.gridSize; ++g) {
+        const RunConfig &c = gridCfgs[g];
+        const RunResults &r = summary.mean[g];
+        os << "{\"scenario\":" << jsonQuote(scenario)
+           << ",\"index\":" << g
+           << ",\"benchmark\":" << jsonQuote(r.benchmark)
+           << ",\"gals\":" << (r.gals ? "true" : "false")
+           << ",\"dynamic_dvfs\":" << (c.dynamicDvfs ? "true" : "false")
+           << ",\"instructions\":" << num(c.instructions)
+           << ",\"replicas\":" << summary.replicas;
+        for (std::size_t m = 0; m < accessors.size(); ++m) {
+            const MetricSummary &s = summary.metrics[g][m];
+            os << ",\"" << accessors[m].name
+               << "\":" << jsonNum(s.mean) << ",\""
+               << accessors[m].name << "_ci95\":" << jsonNum(s.ci95);
+        }
+        os << ",\"energy_nj\":{";
+        bool first = true;
+        for (const auto &[unit, nj] : r.unitEnergyNj) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << jsonQuote(unit) << ":" << jsonNum(nj);
+        }
+        os << "}}\n";
+    }
+}
+
+void
+writeCsvSummary(std::ostream &os, const std::string &scenario,
+                const std::vector<RunConfig> &gridCfgs,
+                const ReplicaSummary &summary)
+{
+    gals_assert(gridCfgs.size() == summary.gridSize,
+                "summary reporter: ", gridCfgs.size(),
+                " grid configs vs grid size ", summary.gridSize);
+    const auto &accessors = metricAccessors();
+
+    os << "scenario,index,benchmark,gals,dynamic_dvfs,instructions,"
+          "replicas";
+    for (const MetricAccessor &acc : accessors)
+        os << "," << acc.name << "," << acc.name << "_ci95";
+    if (!summary.mean.empty())
+        for (const auto &[unit, nj] : summary.mean.front().unitEnergyNj)
+            os << "," << csvField("energy_nj." + unit);
     os << "\n";
 
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const RunConfig &c = cfgs[i];
-        const RunResults &r = results[i];
-        os << scenario << "," << i << "," << r.benchmark << ","
-           << (r.gals ? 1 : 0) << "," << (c.dynamicDvfs ? 1 : 0) << ","
-           << num(c.instructions) << "," << num(c.seed) << ","
-           << num(effectivePhaseSeed(c));
-        for (const MetricColumn &col : metricColumns)
-            os << "," << col.get(r);
+    for (std::size_t g = 0; g < summary.gridSize; ++g) {
+        const RunConfig &c = gridCfgs[g];
+        const RunResults &r = summary.mean[g];
+        os << csvField(scenario) << "," << g << ","
+           << csvField(r.benchmark) << "," << (r.gals ? 1 : 0) << ","
+           << (c.dynamicDvfs ? 1 : 0) << "," << num(c.instructions)
+           << "," << summary.replicas;
+        for (std::size_t m = 0; m < accessors.size(); ++m) {
+            const MetricSummary &s = summary.metrics[g][m];
+            os << "," << csvNum(s.mean) << "," << csvNum(s.ci95);
+        }
         for (const auto &[unit, nj] : r.unitEnergyNj)
-            os << "," << num(nj);
+            os << "," << csvNum(nj);
         os << "\n";
     }
 }

@@ -8,6 +8,17 @@
  * and downstream analysis. Doubles are printed round-trip exact, so
  * serial and parallel runs of the same grid produce byte-identical
  * output.
+ *
+ * The records are strict: string fields are JSON-escaped /
+ * RFC-4180-quoted, and non-finite doubles render as JSON `null`
+ * (empty in CSV) rather than the bare `nan`/`inf` every parser
+ * rejects.
+ *
+ * For replicated (multi-seed) sweeps, the *Summary writers emit one
+ * aggregated record per grid point with `<metric>` (mean) and
+ * `<metric>_ci95` (95% confidence half-width) columns; the raw
+ * per-replica rows belong in the trajectory file
+ * (runner/trajectory.hh).
  */
 
 #ifndef RUNNER_REPORTER_HH
@@ -24,6 +35,7 @@ namespace gals::runner
 
 class ScenarioRegistry;
 struct SweepOptions;
+struct ReplicaSummary;
 
 /** How a sweep's results are rendered. */
 enum class OutputFormat
@@ -37,6 +49,23 @@ enum class OutputFormat
 /** Parse "table" / "json" / "csv" / "md"; fatal on anything else. */
 OutputFormat parseOutputFormat(const std::string &name);
 
+/** @name Record-format primitives
+ *
+ * Shared by the reporters, the trajectory sink and the manifest
+ * writer, so every emitted file obeys the same quoting rules.
+ */
+/// @{
+
+/** JSON string literal for @p s, including the surrounding quotes:
+ *  escapes `"`, `\` and control characters. */
+std::string jsonQuote(const std::string &s);
+
+/** RFC-4180 CSV field: quoted (with internal quotes doubled) when
+ *  @p s contains a comma, quote or newline; verbatim otherwise. */
+std::string csvField(const std::string &s);
+
+/// @}
+
 /** Emit one JSON object per run (JSON-lines). */
 void writeJsonLines(std::ostream &os, const std::string &scenario,
                     const std::vector<RunConfig> &cfgs,
@@ -47,6 +76,45 @@ void writeJsonLines(std::ostream &os, const std::string &scenario,
 void writeCsv(std::ostream &os, const std::string &scenario,
               const std::vector<RunConfig> &cfgs,
               const std::vector<RunResults> &results);
+
+/** @name CSV header/rows split
+ *
+ * The trajectory sink appends several scenarios to one file and must
+ * write the header exactly once; writeCsv() is header + rows.
+ */
+/// @{
+
+/** The CSV header row. @p sample supplies the unit-energy column
+ *  set (identical for every run: the power-model Unit enum). */
+void writeCsvHeader(std::ostream &os, const RunResults &sample);
+
+/** CSV data rows only, in the writeCsvHeader() column order. */
+void writeCsvRows(std::ostream &os, const std::string &scenario,
+                  const std::vector<RunConfig> &cfgs,
+                  const std::vector<RunResults> &results);
+
+/// @}
+
+/** @name Aggregated (replicated-sweep) records
+ *
+ * One record per grid point instead of per run: each scalar metric
+ * becomes a `<name>` mean plus `<name>_ci95` half-width pair, the
+ * per-replica seed columns are replaced by a `replicas` count, and
+ * unit energies are replica means. @p gridCfgs is the first replica
+ * block (size == summary.gridSize).
+ */
+/// @{
+
+void writeJsonLinesSummary(std::ostream &os,
+                           const std::string &scenario,
+                           const std::vector<RunConfig> &gridCfgs,
+                           const ReplicaSummary &summary);
+
+void writeCsvSummary(std::ostream &os, const std::string &scenario,
+                     const std::vector<RunConfig> &gridCfgs,
+                     const ReplicaSummary &summary);
+
+/// @}
 
 /**
  * Emit the scenario catalog as a markdown table (one row per

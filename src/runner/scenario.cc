@@ -1,6 +1,8 @@
 #include "runner/scenario.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <iterator>
 
 #include "sim/logging.hh"
 
@@ -11,6 +13,18 @@ std::vector<std::string>
 SweepOptions::benchmarkSet() const
 {
     return benchmarks.empty() ? benchmarkNames() : benchmarks;
+}
+
+std::vector<std::uint64_t>
+SweepOptions::seedList() const
+{
+    if (!explicitSeeds.empty())
+        return explicitSeeds;
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(seedReplicas == 0 ? 1 : seedReplicas);
+    for (unsigned r = 0; r < std::max(1u, seedReplicas); ++r)
+        seeds.push_back(seed + r);
+    return seeds;
 }
 
 SweepOptions
@@ -61,6 +75,37 @@ appendPair(std::vector<RunConfig> &runs, const std::string &benchmark,
 
     runs.push_back(std::move(base));
     runs.push_back(std::move(galsCfg));
+}
+
+std::vector<RunConfig>
+expandReplicatedRuns(const Scenario &s, const SweepOptions &opts,
+                     std::size_t *gridSize)
+{
+    std::vector<RunConfig> all;
+    std::size_t grid = 0;
+    bool first = true;
+    for (std::uint64_t seed : opts.seedList()) {
+        SweepOptions replica = opts;
+        replica.seed = seed;
+        std::vector<RunConfig> runs =
+            s.makeRuns ? s.makeRuns(replica)
+                       : std::vector<RunConfig>();
+        if (first) {
+            grid = runs.size();
+            first = false;
+        } else {
+            gals_assert(runs.size() == grid, "scenario '", s.name,
+                        "': replica grid size ", runs.size(),
+                        " != ", grid,
+                        " (grid shape may not depend on the seed)");
+        }
+        all.insert(all.end(),
+                   std::make_move_iterator(runs.begin()),
+                   std::make_move_iterator(runs.end()));
+    }
+    if (gridSize)
+        *gridSize = grid;
+    return all;
 }
 
 PairResults

@@ -38,8 +38,25 @@ struct SweepOptions
      *  (usually all shipped benchmarks). */
     std::vector<std::string> benchmarks;
 
-    /** Workload seed for every run. */
+    /** Workload seed for every run (the first replica's seed when
+     *  the sweep is replicated). */
     std::uint64_t seed = 0;
+
+    /** Seed replications (`--seeds N`): each scenario grid is run
+     *  once per seed in seedList(). 1 = the classic single sweep. */
+    unsigned seedReplicas = 1;
+
+    /** Explicit replica seeds (`--seed-list a,b,c`); overrides
+     *  @ref seed / @ref seedReplicas when non-empty. */
+    std::vector<std::uint64_t> explicitSeeds;
+
+    /** The replica seeds, in run order: @ref explicitSeeds when
+     *  given, else seed, seed+1, ..., seed+seedReplicas-1. */
+    std::vector<std::uint64_t> seedList() const;
+
+    /** True when the sweep runs more than one replica per grid
+     *  point. */
+    bool replicated() const { return seedList().size() > 1; }
 
     /** The benchmark sweep set: @ref benchmarks, or all shipped
      *  benchmarks when empty. */
@@ -52,6 +69,24 @@ struct SweepOptions
      * one benchmark).
      */
     static SweepOptions fromEnvironment();
+};
+
+struct ReplicaSummary; // runner/stats.hh
+
+/**
+ * The finished results of one sweep, as handed to Scenario::reduce.
+ *
+ * For a single-seed sweep, @ref runs is the engine output in
+ * makeRuns() order and @ref replicas is null. For a replicated sweep
+ * (SweepOptions::replicated()), @ref runs holds the per-grid-point
+ * replica *means* — so existing reduce() code reads means without
+ * change — and @ref replicas carries the per-metric spread for
+ * reduce() paths that print mean ± 95% CI columns.
+ */
+struct SweepView
+{
+    const std::vector<RunResults> &runs;
+    const ReplicaSummary *replicas = nullptr;
 };
 
 /** One declarative experiment: a run grid plus its report. */
@@ -70,10 +105,9 @@ struct Scenario
      *  pure-literature scenarios (Table 1). */
     std::function<std::vector<RunConfig>(const SweepOptions &)> makeRuns;
 
-    /** Turn finished results (same order as makeRuns) into the
-     *  figure's report on stdout. */
-    std::function<void(const SweepOptions &,
-                       const std::vector<RunResults> &)>
+    /** Turn the finished sweep (per-grid-point results in makeRuns()
+     *  order, see SweepView) into the figure's report on stdout. */
+    std::function<void(const SweepOptions &, const SweepView &)>
         reduce;
 };
 
@@ -123,6 +157,20 @@ PairResults pairAt(const std::vector<RunResults> &results,
                    std::size_t i);
 
 /// @}
+
+/**
+ * Expand @p s into its replica-expanded flat grid: the scenario's
+ * makeRuns() once per seed in opts.seedList() (each call sees
+ * SweepOptions::seed set to that replica's seed), concatenated so
+ * replica r occupies [r*G, (r+1)*G) for grid size G. Every replica
+ * must expand to the same grid size (fatal otherwise: a scenario's
+ * grid shape may not depend on the seed).
+ *
+ * @param gridSize out: the per-replica grid size G (may be null).
+ */
+std::vector<RunConfig> expandReplicatedRuns(const Scenario &s,
+                                            const SweepOptions &opts,
+                                            std::size_t *gridSize);
 
 } // namespace gals::runner
 

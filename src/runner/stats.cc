@@ -1,0 +1,241 @@
+#include "runner/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace gals::runner
+{
+
+namespace
+{
+
+/** One table entry per scalar RunResults metric. */
+#define GALS_METRIC_F64(colName, field)                                \
+    MetricAccessor                                                     \
+    {                                                                  \
+        colName, false,                                                \
+            [](const RunResults &r) { return double(r.field); },       \
+            [](RunResults &r, double v) { r.field = v; }, nullptr      \
+    }
+#define GALS_METRIC_U64(colName, field)                                \
+    MetricAccessor                                                     \
+    {                                                                  \
+        colName, true,                                                 \
+            [](const RunResults &r) { return double(r.field); },       \
+            [](RunResults &r, double v) {                              \
+                r.field =                                              \
+                    static_cast<std::uint64_t>(std::llround(v));       \
+            },                                                         \
+            [](const RunResults &r) {                                  \
+                return static_cast<std::uint64_t>(r.field);            \
+            }                                                          \
+    }
+
+} // namespace
+
+const std::vector<MetricAccessor> &
+metricAccessors()
+{
+    static const std::vector<MetricAccessor> accessors = {
+        GALS_METRIC_U64("committed", committed),
+        GALS_METRIC_U64("fetched", fetched),
+        GALS_METRIC_U64("wrong_path_fetched", wrongPathFetched),
+        GALS_METRIC_U64("ticks", ticks),
+        GALS_METRIC_F64("time_sec", timeSec),
+        GALS_METRIC_F64("ipc_nominal", ipcNominal),
+        GALS_METRIC_F64("energy_j", energyJ),
+        GALS_METRIC_F64("avg_power_w", avgPowerW),
+        GALS_METRIC_U64("fifo_events", fifoEvents),
+        GALS_METRIC_F64("avg_slip_cycles", avgSlipCycles),
+        GALS_METRIC_F64("avg_fifo_slip_cycles", avgFifoSlipCycles),
+        GALS_METRIC_F64("misspec_fraction", misspecFraction),
+        GALS_METRIC_F64("mispredicts_per_k", mispredictsPerKCommitted),
+        GALS_METRIC_F64("dir_accuracy", dirAccuracy),
+        GALS_METRIC_F64("avg_rob_occ", avgRobOcc),
+        GALS_METRIC_F64("avg_int_renames", avgIntRenames),
+        GALS_METRIC_F64("avg_fp_renames", avgFpRenames),
+        GALS_METRIC_F64("int_iq_occ", intIQOcc),
+        GALS_METRIC_F64("fp_iq_occ", fpIQOcc),
+        GALS_METRIC_F64("mem_iq_occ", memIQOcc),
+        GALS_METRIC_F64("il1_miss_rate", il1MissRate),
+        GALS_METRIC_F64("dl1_miss_rate", dl1MissRate),
+        GALS_METRIC_F64("l2_miss_rate", l2MissRate),
+    };
+    return accessors;
+}
+
+#undef GALS_METRIC_F64
+#undef GALS_METRIC_U64
+
+double
+tCritical95(unsigned dof)
+{
+    // Two-sided 95% Student-t critical values, dof 1..30 exact to
+    // four decimals, then a step approximation that returns each
+    // bracket's LOWER-dof (larger) value — t(31), t(41), t(61),
+    // t(121) — so the step only ever widens a CI, never narrows it.
+    static const double table[30] = {
+        12.7062, 4.3027, 3.1824, 2.7764, 2.5706, 2.4469, 2.3646,
+        2.3060,  2.2622, 2.2281, 2.2010, 2.1788, 2.1604, 2.1448,
+        2.1314,  2.1199, 2.1098, 2.1009, 2.0930, 2.0860, 2.0796,
+        2.0739,  2.0687, 2.0639, 2.0595, 2.0555, 2.0518, 2.0484,
+        2.0452,  2.0423};
+    gals_assert(dof >= 1, "tCritical95: dof must be >= 1");
+    if (dof <= 30)
+        return table[dof - 1];
+    if (dof <= 40)
+        return 2.0395;
+    if (dof <= 60)
+        return 2.0195;
+    if (dof <= 120)
+        return 2.0003;
+    return 1.9799;
+}
+
+MetricSummary
+summarize(const std::vector<double> &xs)
+{
+    MetricSummary s;
+    s.n = static_cast<unsigned>(xs.size());
+    if (s.n == 0)
+        return s;
+
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    s.mean = sum / s.n;
+
+    if (s.n < 2)
+        return s; // sd/ci stay 0: one replica carries no spread info
+
+    double sq = 0.0;
+    for (double x : xs)
+        sq += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(sq / (s.n - 1));
+    s.ci95 = tCritical95(s.n - 1) * s.stddev / std::sqrt(double(s.n));
+    return s;
+}
+
+const MetricSummary *
+ReplicaSummary::metric(std::size_t grid, const std::string &name) const
+{
+    if (grid >= metrics.size())
+        return nullptr;
+    const auto &accessors = metricAccessors();
+    for (std::size_t m = 0; m < accessors.size(); ++m)
+        if (name == accessors[m].name)
+            return &metrics[grid][m];
+    return nullptr;
+}
+
+ReplicaSummary
+summarizeReplicas(std::size_t gridSize,
+                  const std::vector<RunResults> &all)
+{
+    gals_assert(gridSize > 0, "summarizeReplicas: empty grid");
+    gals_assert(all.size() % gridSize == 0,
+                "summarizeReplicas: ", all.size(),
+                " results do not tile a grid of ", gridSize);
+
+    ReplicaSummary summary;
+    summary.gridSize = gridSize;
+    summary.replicas = all.size() / gridSize;
+    summary.mean.reserve(gridSize);
+    summary.metrics.reserve(gridSize);
+
+    const auto &accessors = metricAccessors();
+    std::vector<double> sample(summary.replicas);
+    for (std::size_t g = 0; g < gridSize; ++g) {
+        // First replica seeds the non-metric fields (benchmark name,
+        // gals flag, unit-energy key set).
+        RunResults mean = all[g];
+        std::vector<MetricSummary> perMetric;
+        perMetric.reserve(accessors.size());
+
+        for (const MetricAccessor &acc : accessors) {
+            for (std::size_t r = 0; r < summary.replicas; ++r)
+                sample[r] = acc.get(all[r * gridSize + g]);
+            const MetricSummary s = summarize(sample);
+            acc.set(mean, s.mean);
+            perMetric.push_back(s);
+        }
+
+        for (auto &[unit, nj] : mean.unitEnergyNj) {
+            double sum = 0.0;
+            for (std::size_t r = 0; r < summary.replicas; ++r) {
+                const auto &e = all[r * gridSize + g].unitEnergyNj;
+                const auto it = e.find(unit);
+                sum += it == e.end() ? 0.0 : it->second;
+            }
+            nj = sum / double(summary.replicas);
+        }
+
+        summary.mean.push_back(std::move(mean));
+        summary.metrics.push_back(std::move(perMetric));
+    }
+    return summary;
+}
+
+double
+ratioCi95(double meanA, double ciA, double meanB, double ciB)
+{
+    if (meanA == 0.0 || meanB == 0.0 || !std::isfinite(meanA) ||
+        !std::isfinite(meanB))
+        return std::nan("");
+    const double ra = ciA / meanA, rb = ciB / meanB;
+    return std::fabs(meanA / meanB) * std::sqrt(ra * ra + rb * rb);
+}
+
+std::string
+formatMeanCi(double mean, double ci)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g ± %.3g", mean, ci);
+    return buf;
+}
+
+void
+writeReplicationTable(std::ostream &os, const std::string &scenario,
+                      const std::vector<RunConfig> &gridCfgs,
+                      const ReplicaSummary &summary)
+{
+    gals_assert(gridCfgs.size() == summary.gridSize,
+                "replication table: ", gridCfgs.size(),
+                " grid configs vs grid size ", summary.gridSize);
+
+    static const char *const headline[] = {
+        "ipc_nominal", "time_sec", "energy_j", "avg_power_w",
+        "avg_slip_cycles"};
+
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "\nReplication summary: %s (%zu seeds, mean ± "
+                  "95%% CI, Student-t)\n",
+                  scenario.c_str(), summary.replicas);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "%-4s %-10s %-5s %-22s %-22s %-22s %-22s %-22s\n",
+                  "idx", "benchmark", "gals", headline[0], headline[1],
+                  headline[2], headline[3], headline[4]);
+    os << line;
+
+    for (std::size_t g = 0; g < summary.gridSize; ++g) {
+        std::snprintf(line, sizeof(line), "%-4zu %-10s %-5s ", g,
+                      gridCfgs[g].benchmark.c_str(),
+                      gridCfgs[g].gals ? "yes" : "no");
+        os << line;
+        for (const char *name : headline) {
+            const MetricSummary *m = summary.metric(g, name);
+            std::snprintf(line, sizeof(line), "%-22s",
+                          m ? formatMeanCi(m->mean, m->ci95).c_str()
+                            : "-");
+            os << line;
+        }
+        os << "\n";
+    }
+}
+
+} // namespace gals::runner

@@ -1,0 +1,159 @@
+#include "runner/trajectory.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "runner/reporter.hh"
+#include "runner/scenario.hh"
+#include "sim/logging.hh"
+
+namespace gals::runner
+{
+
+namespace
+{
+
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+    return buf;
+}
+
+} // namespace
+
+TrajectoryFormat
+trajectoryFormatForPath(const std::string &path)
+{
+    const std::size_t dot = path.find_last_of('.');
+    if (dot != std::string::npos && path.substr(dot) == ".csv")
+        return TrajectoryFormat::csv;
+    return TrajectoryFormat::jsonLines;
+}
+
+const char *
+trajectoryFormatName(TrajectoryFormat format)
+{
+    return format == TrajectoryFormat::csv ? "csv" : "jsonl";
+}
+
+TrajectorySink::TrajectorySink(const std::string &path)
+    : path_(path), format_(trajectoryFormatForPath(path)),
+      os_(path, std::ios::out | std::ios::trunc | std::ios::binary)
+{
+    if (!os_)
+        gals_fatal("cannot open trajectory file '", path_,
+                   "' for writing");
+}
+
+void
+TrajectorySink::append(const std::string &scenario,
+                       const std::vector<RunConfig> &cfgs,
+                       const std::vector<RunResults> &results)
+{
+    if (format_ == TrajectoryFormat::jsonLines) {
+        writeJsonLines(os_, scenario, cfgs, results);
+        return;
+    }
+    // Defer the header to the first non-empty grid: an empty one
+    // (a literature-only scenario) has no record to take the
+    // energy_nj.* column set from.
+    if (results.empty())
+        return;
+    if (!wroteHeader_) {
+        writeCsvHeader(os_, results.front());
+        wroteHeader_ = true;
+    }
+    writeCsvRows(os_, scenario, cfgs, results);
+}
+
+void
+TrajectorySink::close()
+{
+    if (!os_.is_open())
+        return;
+    os_.flush();
+    if (!os_)
+        gals_fatal("error writing trajectory file '", path_, "'");
+    os_.close();
+    if (!os_)
+        gals_fatal("error closing trajectory file '", path_, "'");
+}
+
+void
+writeManifest(std::ostream &os, const SweepOptions &opts,
+              const std::string &engineName,
+              const std::string &outputPath,
+              const std::vector<ManifestScenario> &scenarios)
+{
+    os << "{\n"
+       << "  \"manifest_version\": 1,\n"
+       << "  \"galssim_version\": " << jsonQuote(galssimVersion())
+       << ",\n"
+       << "  \"engine\": " << jsonQuote(engineName) << ",\n"
+       << "  \"instructions\": " << opts.instructions << ",\n";
+
+    os << "  \"seeds\": [";
+    bool first = true;
+    for (std::uint64_t seed : opts.seedList()) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << seed;
+    }
+    os << "],\n";
+
+    // The CLI benchmark restriction; empty means every scenario uses
+    // its default sweep set.
+    os << "  \"benchmarks\": [";
+    first = true;
+    for (const std::string &b : opts.benchmarks) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << jsonQuote(b);
+    }
+    os << "],\n";
+
+    if (outputPath.empty()) {
+        os << "  \"output\": null,\n";
+    } else {
+        os << "  \"output\": " << jsonQuote(outputPath) << ",\n"
+           << "  \"output_format\": "
+           << jsonQuote(trajectoryFormatName(
+                  trajectoryFormatForPath(outputPath)))
+           << ",\n";
+    }
+
+    os << "  \"scenarios\": [";
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const ManifestScenario &s = scenarios[i];
+        os << (i ? ",\n" : "\n") << "    {\"name\": "
+           << jsonQuote(s.name) << ", \"grid\": " << s.gridSize
+           << ", \"replicas\": " << s.replicas
+           << ", \"runs\": " << s.gridSize * s.replicas
+           << ", \"config_hash\": " << jsonQuote(hashHex(s.configHash))
+           << "}";
+    }
+    os << (scenarios.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+void
+writeManifestFile(const std::string &path, const SweepOptions &opts,
+                  const std::string &engineName,
+                  const std::string &outputPath,
+                  const std::vector<ManifestScenario> &scenarios)
+{
+    std::ofstream os(path,
+                     std::ios::out | std::ios::trunc | std::ios::binary);
+    if (!os)
+        gals_fatal("cannot open manifest file '", path,
+                   "' for writing");
+    writeManifest(os, opts, engineName, outputPath, scenarios);
+    os.flush();
+    if (!os)
+        gals_fatal("error writing manifest file '", path, "'");
+}
+
+} // namespace gals::runner

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Sweep persistence: trajectory files and run manifests.
+ *
+ * `galsbench --output PATH` streams the raw per-run records of every
+ * executed scenario into one trajectory file — JSON-lines by default,
+ * CSV when PATH ends in `.csv` — through the TrajectorySink below.
+ * `--manifest PATH` additionally writes a run manifest describing the
+ * whole evaluation (galssim version, engine, instruction budget,
+ * seeds, and per-scenario grid sizes + config hashes).
+ *
+ * Both files are deliberately free of timestamps, hostnames and job
+ * counts: re-running the same sweep on any machine at any `--jobs`
+ * must produce byte-identical bytes, so an archived evaluation can be
+ * verified with `cmp`.
+ */
+
+#ifndef RUNNER_TRAJECTORY_HH
+#define RUNNER_TRAJECTORY_HH
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace gals::runner
+{
+
+struct SweepOptions;
+
+/** On-disk record format of a trajectory file. */
+enum class TrajectoryFormat
+{
+    jsonLines, ///< one JSON object per run per line
+    csv,       ///< one header row, then one row per run
+};
+
+/** Format implied by a `--output` path: `.csv` → csv, anything else
+ *  (including `.json` / `.jsonl`) → JSON lines. */
+TrajectoryFormat trajectoryFormatForPath(const std::string &path);
+
+/** Short format name for manifests: "jsonl" or "csv". */
+const char *trajectoryFormatName(TrajectoryFormat format);
+
+/**
+ * An open trajectory file accepting one scenario's finished grid at a
+ * time. Rows are the raw per-run records (per-replica for multi-seed
+ * sweeps) in engine order, so the file is byte-identical for any job
+ * count. The CSV header is written once, before the first rows.
+ */
+class TrajectorySink
+{
+  public:
+    /** Open (truncate) @p path; fatal if the file cannot be
+     *  created. */
+    explicit TrajectorySink(const std::string &path);
+
+    /** Append one scenario's cfgs/results (parallel vectors). */
+    void append(const std::string &scenario,
+                const std::vector<RunConfig> &cfgs,
+                const std::vector<RunResults> &results);
+
+    /** Flush and verify the stream; fatal on any write error. Safe
+     *  to call more than once. */
+    void close();
+
+    const std::string &path() const { return path_; }
+    TrajectoryFormat format() const { return format_; }
+
+  private:
+    std::string path_;
+    TrajectoryFormat format_;
+    std::ofstream os_;
+    bool wroteHeader_ = false;
+};
+
+/** One executed scenario as recorded in a manifest. */
+struct ManifestScenario
+{
+    std::string name;           ///< scenario key, e.g. "fig05"
+    std::size_t gridSize = 0;   ///< runs per replica
+    std::size_t replicas = 0;   ///< seed replications
+    std::uint64_t configHash = 0; ///< runConfigHash of the full grid
+};
+
+/**
+ * Write the run manifest as deterministic pretty-printed JSON: fixed
+ * key order, no timestamps or host details. @p engineName is the
+ * event-queue engine (queueEngineName()), @p outputPath the
+ * trajectory file this manifest describes (empty when --output was
+ * not given).
+ */
+void writeManifest(std::ostream &os, const SweepOptions &opts,
+                   const std::string &engineName,
+                   const std::string &outputPath,
+                   const std::vector<ManifestScenario> &scenarios);
+
+/** writeManifest() to @p path; fatal on any IO error. */
+void writeManifestFile(const std::string &path,
+                       const SweepOptions &opts,
+                       const std::string &engineName,
+                       const std::string &outputPath,
+                       const std::vector<ManifestScenario> &scenarios);
+
+} // namespace gals::runner
+
+#endif // RUNNER_TRAJECTORY_HH
