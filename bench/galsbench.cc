@@ -17,14 +17,26 @@
  * workload seeds, and the table/JSON/CSV reports then carry
  * mean ± 95% CI columns (per-replica rows stay in the trajectory).
  *
+ * Sweeps also scale past one machine: `--shard i/N` runs the i-th of
+ * N disjoint round-robin slices of every selected scenario's grid,
+ * `--merge` fuses the resulting shard trajectories back into the
+ * canonical single-machine file (cmp-identical to an unsharded run),
+ * `--merge-manifest` does the same for the shard manifests, and
+ * `--verify MANIFEST` re-runs an archived manifest and byte-compares
+ * the regenerated trajectory against the archived one.
+ *
  * Usage:
  *   galsbench --list [--format md]
  *   galsbench --scenario fig05 [--scenario fig09 ...] | --all
  *             [--jobs N] [--format table|json|csv]
  *             [--insts N] [--bench NAME] [--seed N]
  *             [--seeds N | --seed-list a,b,c]
+ *             [--shard I/N]
  *             [--output PATH] [--manifest PATH]
  *             [--engine calendar|heap]
+ *   galsbench --merge SHARD.jsonl... --output PATH
+ *             [--merge-manifest SHARD.json... --manifest PATH]
+ *   galsbench --verify MANIFEST [--jobs N]
  *
  * Environment: GALSSIM_INSTS, GALSSIM_BENCH and GALSSIM_ENGINE provide
  * defaults for --insts / --bench / --engine (the first two are the
@@ -44,6 +56,7 @@
 
 #include "bench/register_all.hh"
 #include "runner/engine.hh"
+#include "runner/merge.hh"
 #include "runner/reporter.hh"
 #include "runner/scenario.hh"
 #include "runner/stats.hh"
@@ -66,8 +79,13 @@ usage(std::FILE *to, int exitCode)
         "                 [--jobs N] [--format table|json|csv]\n"
         "                 [--insts N] [--bench NAME] [--seed N]\n"
         "                 [--seeds N | --seed-list a,b,c]\n"
+        "                 [--shard I/N]\n"
         "                 [--output PATH] [--manifest PATH]\n"
         "                 [--engine calendar|heap]\n"
+        "       galsbench --merge SHARD... --output PATH\n"
+        "                 [--merge-manifest SHARD... --manifest "
+        "PATH]\n"
+        "       galsbench --verify MANIFEST [--jobs N]\n"
         "\n"
         "  --list          list registered scenarios and exit\n"
         "                  (--format md emits the markdown catalog\n"
@@ -87,11 +105,24 @@ usage(std::FILE *to, int exitCode)
         "                  mean +/- 95%% CI\n"
         "  --seed-list S   explicit comma-separated replica seeds\n"
         "                  (overrides --seed/--seeds)\n"
+        "  --shard I/N     run only the I-th of N disjoint slices of\n"
+        "                  every grid (1-based; requires --output\n"
+        "                  or --manifest; table/json/csv reports are\n"
+        "                  suppressed — merge the shards instead)\n"
         "  --output PATH   append every per-run record to a\n"
         "                  trajectory file: JSON-lines, or CSV when\n"
         "                  PATH ends in .csv\n"
         "  --manifest PATH write a run manifest (version, engine,\n"
-        "                  seeds, per-scenario config hashes)\n"
+        "                  seeds, shard, per-scenario config hashes)\n"
+        "  --merge F...    merge shard trajectory files into the\n"
+        "                  canonical unsharded ordering at --output\n"
+        "  --merge-manifest F...\n"
+        "                  merge shard manifests into the canonical\n"
+        "                  manifest at --manifest\n"
+        "  --verify M      re-run the archived manifest M and byte-\n"
+        "                  compare the regenerated trajectory against\n"
+        "                  the archived one; non-zero exit on any\n"
+        "                  difference\n"
         "  --engine E      event-queue engine: calendar (default) or\n"
         "                  heap (A/B baseline; or GALSSIM_ENGINE).\n"
         "                  Results are identical for either.\n");
@@ -173,6 +204,67 @@ seedListValue(const char *text)
     return seeds;
 }
 
+/** Flush std::cout and turn a write failure into exit 1: reports
+ *  and listings must not masquerade as success on a full disk or
+ *  dead pipe. */
+int
+stdoutExitCode()
+{
+    std::cout.flush();
+    if (!std::cout) {
+        std::fprintf(stderr, "galsbench: error writing to stdout\n");
+        return 1;
+    }
+    return 0;
+}
+
+/** Parse the --shard value "I/N": 1 <= I <= N. */
+ShardSpec
+shardValue(const char *text)
+{
+    const std::string s = text;
+    const std::size_t slash = s.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= s.size()) {
+        std::fprintf(stderr,
+                     "galsbench: --shard expects I/N (e.g. 2/3), "
+                     "got '%s'\n",
+                     text);
+        usage(stderr, 2);
+    }
+    ShardSpec shard;
+    shard.index =
+        unsignedValue("--shard", s.substr(0, slash).c_str());
+    shard.count =
+        unsignedValue("--shard", s.substr(slash + 1).c_str());
+    if (shard.index < 1 || shard.count < 1 ||
+        shard.index > shard.count) {
+        std::fprintf(stderr,
+                     "galsbench: --shard %s out of range "
+                     "(need 1 <= I <= N)\n",
+                     text);
+        usage(stderr, 2);
+    }
+    return shard;
+}
+
+/** Consume the file arguments following --merge/--merge-manifest
+ *  (every subsequent argv entry up to the next --flag) into
+ *  @p files; a repeated flag appends rather than replacing. */
+void
+fileListValue(const char *flag, int argc, char **argv, int &i,
+              std::vector<std::string> &files)
+{
+    const std::size_t before = files.size();
+    while (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        files.push_back(argv[++i]);
+    if (files.size() == before) {
+        std::fprintf(stderr,
+                     "galsbench: %s needs at least one file\n", flag);
+        usage(stderr, 2);
+    }
+}
+
 } // namespace
 
 int
@@ -185,10 +277,16 @@ main(int argc, char **argv)
     if (const char *env = std::getenv("GALSSIM_ENGINE"))
         EventQueue::setDefaultEngine(parseQueueEngine(env));
     std::vector<std::string> selected, cliBenchmarks;
-    std::string outputPath, manifestPath;
-    bool listOnly = false, runAll = false;
+    std::vector<std::string> mergeFiles, mergeManifestFiles;
+    std::string outputPath, manifestPath, verifyPath;
+    bool listOnly = false, runAll = false, jobsFlag = false;
     unsigned jobs = 1;
     OutputFormat format = OutputFormat::table;
+    // Sweep-shaping flags that --merge/--verify must reject rather
+    // than silently ignore (--verify replays exactly what the
+    // manifest records; e.g. --verify --shard would quietly re-run
+    // the whole archive, not a slice).
+    std::vector<std::string> sweepFlags;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -200,11 +298,14 @@ main(int argc, char **argv)
             selected.push_back(argValue(argc, argv, i));
         } else if (!std::strcmp(arg, "--jobs")) {
             jobs = unsignedValue("--jobs", argValue(argc, argv, i));
+            jobsFlag = true;
         } else if (!std::strcmp(arg, "--format")) {
             format = parseOutputFormat(argValue(argc, argv, i));
+            sweepFlags.push_back("--format");
         } else if (!std::strcmp(arg, "--insts")) {
             opts.instructions =
                 numericValue("--insts", argValue(argc, argv, i));
+            sweepFlags.push_back("--insts");
             if (opts.instructions == 0) {
                 std::fprintf(stderr,
                              "galsbench: --insts must be > 0\n");
@@ -212,12 +313,15 @@ main(int argc, char **argv)
             }
         } else if (!std::strcmp(arg, "--bench")) {
             cliBenchmarks.push_back(argValue(argc, argv, i));
+            sweepFlags.push_back("--bench");
         } else if (!std::strcmp(arg, "--seed")) {
             opts.seed =
                 numericValue("--seed", argValue(argc, argv, i));
+            sweepFlags.push_back("--seed");
         } else if (!std::strcmp(arg, "--seeds")) {
             opts.seedReplicas =
                 unsignedValue("--seeds", argValue(argc, argv, i));
+            sweepFlags.push_back("--seeds");
             if (opts.seedReplicas == 0) {
                 std::fprintf(stderr,
                              "galsbench: --seeds must be > 0\n");
@@ -226,6 +330,17 @@ main(int argc, char **argv)
         } else if (!std::strcmp(arg, "--seed-list")) {
             opts.explicitSeeds =
                 seedListValue(argValue(argc, argv, i));
+            sweepFlags.push_back("--seed-list");
+        } else if (!std::strcmp(arg, "--shard")) {
+            opts.shard = shardValue(argValue(argc, argv, i));
+            sweepFlags.push_back("--shard");
+        } else if (!std::strcmp(arg, "--merge")) {
+            fileListValue("--merge", argc, argv, i, mergeFiles);
+        } else if (!std::strcmp(arg, "--merge-manifest")) {
+            fileListValue("--merge-manifest", argc, argv, i,
+                          mergeManifestFiles);
+        } else if (!std::strcmp(arg, "--verify")) {
+            verifyPath = argValue(argc, argv, i);
         } else if (!std::strcmp(arg, "--output")) {
             outputPath = argValue(argc, argv, i);
         } else if (!std::strcmp(arg, "--manifest")) {
@@ -233,6 +348,7 @@ main(int argc, char **argv)
         } else if (!std::strcmp(arg, "--engine")) {
             EventQueue::setDefaultEngine(
                 parseQueueEngine(argValue(argc, argv, i)));
+            sweepFlags.push_back("--engine");
         } else if (!std::strcmp(arg, "--help") ||
                    !std::strcmp(arg, "-h")) {
             usage(stdout, 0);
@@ -246,6 +362,108 @@ main(int argc, char **argv)
     // Explicit --bench flags override the GALSSIM_BENCH default.
     if (!cliBenchmarks.empty())
         opts.benchmarks = std::move(cliBenchmarks);
+
+    const bool mergeMode =
+        !mergeFiles.empty() || !mergeManifestFiles.empty();
+    const bool verifyMode = !verifyPath.empty();
+    const bool runMode = runAll || !selected.empty();
+    if (static_cast<int>(listOnly) + static_cast<int>(mergeMode) +
+            static_cast<int>(verifyMode) + static_cast<int>(runMode) >
+        1) {
+        std::fprintf(stderr,
+                     "galsbench: --list, --merge/--merge-manifest, "
+                     "--verify and scenario runs are mutually "
+                     "exclusive\n");
+        return 2;
+    }
+
+    // --jobs feeds the ExperimentEngine, which merge mode never
+    // runs; treat it like the other mode-irrelevant flags.
+    if (mergeMode && jobsFlag)
+        sweepFlags.insert(sweepFlags.begin(), "--jobs");
+    if ((mergeMode || verifyMode) && !sweepFlags.empty()) {
+        std::fprintf(stderr,
+                     "galsbench: %s does not apply to %s (the "
+                     "%s)\n",
+                     sweepFlags.front().c_str(),
+                     verifyMode ? "--verify" : "--merge",
+                     verifyMode
+                         ? "manifest alone defines the replay"
+                         : "inputs alone define the merge");
+        return 2;
+    }
+
+    if (mergeMode) {
+        if (!mergeFiles.empty() && outputPath.empty()) {
+            std::fprintf(stderr,
+                         "galsbench: --merge needs --output PATH for "
+                         "the merged trajectory\n");
+            return 2;
+        }
+        if (!mergeManifestFiles.empty() && manifestPath.empty()) {
+            std::fprintf(stderr,
+                         "galsbench: --merge-manifest needs "
+                         "--manifest PATH for the merged manifest\n");
+            return 2;
+        }
+        if (mergeManifestFiles.empty() && !manifestPath.empty()) {
+            // Silently skipping the manifest would archive a merged
+            // trajectory that a later --verify has nothing to
+            // replay against.
+            std::fprintf(stderr,
+                         "galsbench: --manifest in merge mode needs "
+                         "the shard manifests via --merge-manifest\n");
+            return 2;
+        }
+        if (mergeFiles.empty() && !outputPath.empty()) {
+            // The symmetric hazard: a merged manifest recording a
+            // trajectory this invocation never produced.
+            std::fprintf(stderr,
+                         "galsbench: --output in merge mode needs "
+                         "the shard trajectories via --merge\n");
+            return 2;
+        }
+        // Manifests first: when both are given, the recovered sweep
+        // shape is the authoritative completeness check for the
+        // trajectory merge.
+        bool ok = true;
+        MergePlan plan;
+        const MergePlan *planPtr = nullptr;
+        if (!mergeManifestFiles.empty()) {
+            ok = mergeManifests(mergeManifestFiles, manifestPath,
+                                outputPath, std::cerr, &plan);
+            planPtr = &plan;
+        }
+        if (ok && !mergeFiles.empty()) {
+            ok = mergeTrajectories(mergeFiles, outputPath, std::cerr,
+                                   planPtr);
+            if (!ok && !mergeManifestFiles.empty()) {
+                // Don't leave a canonical-looking manifest behind
+                // whose recorded trajectory was never written.
+                std::remove(manifestPath.c_str());
+                std::fprintf(stderr,
+                             "galsbench: removed '%s' (trajectory "
+                             "merge failed)\n",
+                             manifestPath.c_str());
+            }
+        }
+        return ok ? 0 : 1;
+    }
+
+    if (verifyMode) {
+        if (!outputPath.empty() || !manifestPath.empty()) {
+            std::fprintf(stderr,
+                         "galsbench: --verify replays an archived "
+                         "manifest; --output/--manifest do not "
+                         "apply\n");
+            return 2;
+        }
+        const ExperimentEngine engine(jobs);
+        return verifyManifest(registry, engine, verifyPath,
+                              std::cerr)
+                   ? 0
+                   : 1;
+    }
 
     if (listOnly) {
         if (!outputPath.empty() || !manifestPath.empty()) {
@@ -261,14 +479,14 @@ main(int argc, char **argv)
             // any environment.
             writeScenarioCatalogMarkdown(std::cout, registry,
                                          SweepOptions{});
-            return 0;
+            return stdoutExitCode();
         }
         std::printf("%-16s %-14s %s\n", "name", "figure",
                     "description");
         for (const Scenario &s : registry.all())
             std::printf("%-16s %-14s %s\n", s.name.c_str(),
                         s.figure.c_str(), s.description.c_str());
-        return 0;
+        return stdoutExitCode();
     }
 
     if (format == OutputFormat::markdown) {
@@ -308,6 +526,15 @@ main(int argc, char **argv)
         scenarios.push_back(scenario);
     }
 
+    if (opts.shard.active() && outputPath.empty() &&
+        manifestPath.empty()) {
+        std::fprintf(stderr,
+                     "galsbench: --shard runs a grid slice whose "
+                     "reports are suppressed; give --output and/or "
+                     "--manifest to keep its records\n");
+        return 2;
+    }
+
     std::unique_ptr<TrajectorySink> sink;
     if (!outputPath.empty())
         sink = std::make_unique<TrajectorySink>(outputPath);
@@ -319,12 +546,52 @@ main(int argc, char **argv)
         std::size_t gridSize = 0;
         const std::vector<RunConfig> runs =
             expandReplicatedRuns(*scenario, opts, &gridSize);
+        // The manifest always describes the canonical full grid —
+        // shard manifests differ from the unsharded one only by the
+        // shard object and output path, which is what --merge-manifest
+        // strips when fusing them back.
+        manifestScenarios.push_back({scenario->name, gridSize,
+                                     replicas, runConfigHash(runs)});
+
+        if (opts.shard.active()) {
+            // Run only this shard's slice; records carry their
+            // canonical grid indices so --merge can reassemble the
+            // single-machine trajectory byte for byte. The paper
+            // tables need the whole grid, so no report is printed
+            // here.
+            const std::vector<std::size_t> indices =
+                shardRunIndices(runs.size(), opts.shard);
+            const std::vector<RunConfig> shardRuns =
+                selectRuns(runs, indices);
+            if (sink) {
+                const std::vector<RunResults> results =
+                    engine.run(shardRuns);
+                sink->append(scenario->name, shardRuns, results,
+                             &indices);
+                std::fprintf(stderr,
+                             "galsbench: %s: shard %u/%u ran %zu of "
+                             "%zu runs\n",
+                             scenario->name.c_str(), opts.shard.index,
+                             opts.shard.count, shardRuns.size(),
+                             runs.size());
+            } else {
+                // Manifest-only shard invocation: the manifest is a
+                // function of the configs alone, so don't burn the
+                // slice's simulation time to discard its results.
+                std::fprintf(stderr,
+                             "galsbench: %s: shard %u/%u manifest "
+                             "only (%zu of %zu runs not executed)\n",
+                             scenario->name.c_str(), opts.shard.index,
+                             opts.shard.count, shardRuns.size(),
+                             runs.size());
+            }
+            continue;
+        }
+
         const std::vector<RunResults> results = engine.run(runs);
 
         if (sink)
             sink->append(scenario->name, runs, results);
-        manifestScenarios.push_back({scenario->name, gridSize,
-                                     replicas, runConfigHash(runs)});
 
         if (replicas <= 1) {
             switch (format) {
@@ -384,5 +651,6 @@ main(int argc, char **argv)
         writeManifestFile(manifestPath, opts,
                           queueEngineName(EventQueue::defaultEngine()),
                           outputPath, manifestScenarios);
-    return 0;
+
+    return stdoutExitCode();
 }

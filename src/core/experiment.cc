@@ -16,6 +16,20 @@ effectivePhaseSeed(const RunConfig &cfg)
                                                      : cfg.phaseSeed;
 }
 
+std::vector<std::size_t>
+shardRunIndices(std::size_t total, const ShardSpec &shard)
+{
+    // An inactive spec (count 0) is the whole grid.
+    const unsigned count = std::max(1u, shard.count);
+    gals_assert(shard.index >= 1 && shard.index <= count,
+                "invalid shard ", shard.index, "/", shard.count);
+    std::vector<std::size_t> indices;
+    indices.reserve(total / count + 1);
+    for (std::size_t i = shard.index - 1; i < total; i += count)
+        indices.push_back(i);
+    return indices;
+}
+
 const char *
 galssimVersion()
 {

@@ -111,6 +111,36 @@ struct RunResults
 const char *galssimVersion();
 
 /**
+ * One disjoint slice of a run grid for multi-machine sweeps
+ * (`galsbench --shard i/N`): shard @ref index (1-based) of
+ * @ref count. The default (count 0) means "not sharded"; an
+ * explicit `--shard 1/1` is a *sharded* run of one slice, so a
+ * driver script parameterized by N behaves identically at N=1
+ * (reports suppressed, shard-tagged manifest, mergeable output).
+ */
+struct ShardSpec
+{
+    unsigned index = 1; ///< which shard, 1..count
+    unsigned count = 0; ///< total shards; 0 = unsharded
+
+    /** True when this invocation runs a shard (even 1/1). */
+    bool active() const { return count >= 1; }
+};
+
+/**
+ * The canonical run indices owned by @p shard of a @p total-run
+ * grid: the round-robin slice {index-1, index-1+count, ...}, in
+ * ascending order. Striding (rather than contiguous blocks) spreads
+ * every benchmark across every shard, so shards finish in comparable
+ * wall-clock even though run lengths are heterogeneous. Across
+ * i = 1..count the slices are disjoint and cover [0, total) exactly —
+ * merging shard outputs by canonical index reproduces the unsharded
+ * ordering byte for byte.
+ */
+std::vector<std::size_t> shardRunIndices(std::size_t total,
+                                         const ShardSpec &shard);
+
+/**
  * Stable 64-bit hash of everything that defines a run: benchmark,
  * instruction budget, GALS/DVFS settings, seeds (with the phase-seed
  * sentinel resolved) and the run-defining ProcessorConfig scalars

@@ -1,7 +1,7 @@
 #include "runner/engine.hh"
 
 #include <algorithm>
-#include <atomic>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <string>
@@ -11,6 +11,47 @@
 
 namespace gals::runner
 {
+
+namespace
+{
+
+/**
+ * One worker's run queue. A plain mutex per deque is plenty here:
+ * tasks are whole simulations (milliseconds to minutes each), so
+ * lock traffic is noise — the win of work stealing is load balance,
+ * not lock-free throughput.
+ */
+struct alignas(64) WorkerQueue
+{
+    std::mutex m;
+    std::deque<std::size_t> d;
+
+    /** Owner end: pop the next index of the worker's own block. */
+    bool
+    popFront(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        if (d.empty())
+            return false;
+        out = d.front();
+        d.pop_front();
+        return true;
+    }
+
+    /** Thief end: steal from the far end of a victim's block. */
+    bool
+    popBack(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        if (d.empty())
+            return false;
+        out = d.back();
+        d.pop_back();
+        return true;
+    }
+};
+
+} // namespace
 
 ExperimentEngine::ExperimentEngine(unsigned jobs)
     : jobs_(jobs == 0 ? hardwareJobs() : jobs)
@@ -23,6 +64,91 @@ ExperimentEngine::hardwareJobs()
     return std::max(1u, std::thread::hardware_concurrency());
 }
 
+void
+ExperimentEngine::runIndexed(
+    std::size_t count,
+    const std::function<void(std::size_t)> &task) const
+{
+    if (count == 0)
+        return;
+    if (jobs_ <= 1 || count <= 1) {
+        // Same failure contract as the pool below: a throwing task
+        // is fatal with the same prefix, not a propagated exception,
+        // so --jobs 1 and --jobs N behave identically.
+        try {
+            for (std::size_t i = 0; i < count; ++i)
+                task(i);
+        } catch (const std::exception &e) {
+            gals_fatal("experiment worker failed: ", e.what());
+        } catch (...) {
+            gals_fatal("experiment worker failed: unknown exception");
+        }
+        return;
+    }
+
+    const unsigned nThreads =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, count));
+
+    // Seed each worker with a contiguous block, so with homogeneous
+    // run lengths nobody needs to steal at all and each worker walks
+    // its slice in index order.
+    std::vector<WorkerQueue> queues(nThreads);
+    for (unsigned w = 0; w < nThreads; ++w) {
+        const std::size_t begin = count * w / nThreads;
+        const std::size_t end = count * (w + 1) / nThreads;
+        for (std::size_t i = begin; i < end; ++i)
+            queues[w].d.push_back(i);
+    }
+
+    // A worker exception must not escape its thread (std::terminate);
+    // capture the first failure and re-raise it after the join.
+    std::mutex errorMutex;
+    std::string firstError;
+
+    auto runTask = [&](std::size_t i) {
+        try {
+            task(i);
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(errorMutex);
+            if (firstError.empty())
+                firstError = e.what();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errorMutex);
+            if (firstError.empty())
+                firstError = "unknown exception";
+        }
+    };
+
+    auto worker = [&](unsigned self) {
+        std::size_t i;
+        for (;;) {
+            if (queues[self].popFront(i)) {
+                runTask(i);
+                continue;
+            }
+            // Own queue dry: scan the others and steal one index.
+            // Tasks never enqueue new tasks, so a full unsuccessful
+            // scan means the grid is drained and we can retire.
+            bool stole = false;
+            for (unsigned v = 1; v < nThreads && !stole; ++v)
+                stole = queues[(self + v) % nThreads].popBack(i);
+            if (!stole)
+                return;
+            runTask(i);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(nThreads);
+    for (unsigned t = 0; t < nThreads; ++t)
+        threads.emplace_back(worker, t);
+    for (std::thread &t : threads)
+        t.join();
+
+    if (!firstError.empty())
+        gals_fatal("experiment worker failed: ", firstError);
+}
+
 std::vector<RunResults>
 ExperimentEngine::run(const std::vector<RunConfig> &cfgs) const
 {
@@ -30,44 +156,8 @@ ExperimentEngine::run(const std::vector<RunConfig> &cfgs) const
         return runMany(cfgs);
 
     std::vector<RunResults> results(cfgs.size());
-    std::atomic<std::size_t> next{0};
-
-    // A worker exception must not escape its thread (std::terminate);
-    // capture the first failure and re-raise it after the join.
-    std::mutex errorMutex;
-    std::string firstError;
-
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= cfgs.size())
-                return;
-            try {
-                results[i] = runOne(cfgs[i]);
-            } catch (const std::exception &e) {
-                std::lock_guard<std::mutex> lock(errorMutex);
-                if (firstError.empty())
-                    firstError = e.what();
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(errorMutex);
-                if (firstError.empty())
-                    firstError = "unknown exception";
-            }
-        }
-    };
-
-    const unsigned nThreads = static_cast<unsigned>(
-        std::min<std::size_t>(jobs_, cfgs.size()));
-    std::vector<std::thread> threads;
-    threads.reserve(nThreads);
-    for (unsigned t = 0; t < nThreads; ++t)
-        threads.emplace_back(worker);
-    for (std::thread &t : threads)
-        t.join();
-
-    if (!firstError.empty())
-        gals_fatal("experiment worker failed: ", firstError);
+    runIndexed(cfgs.size(),
+               [&](std::size_t i) { results[i] = runOne(cfgs[i]); });
     return results;
 }
 

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal strict JSON reader for galssim's own record formats.
+ *
+ * `--merge` and `--verify` must read back the manifests and
+ * trajectory records this repo writes (runner/trajectory.hh,
+ * runner/reporter.hh). This is a small recursive-descent parser over
+ * the full JSON grammar — objects, arrays, strings with escapes,
+ * numbers, literals — strict in what it accepts (no trailing
+ * garbage, no bare nan/inf) and careful to keep the raw token text
+ * of numbers, so 64-bit seeds and config hashes round-trip without
+ * passing through double.
+ *
+ * It is a reader, not a serializer: writing stays with the
+ * hand-formatted writers so archived files remain byte-stable.
+ */
+
+#ifndef RUNNER_JSON_HH
+#define RUNNER_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gals::runner::json
+{
+
+/** One parsed JSON value. */
+struct Value
+{
+    enum class Kind
+    {
+        null,
+        boolean,
+        number,
+        string,
+        array,
+        object,
+    };
+
+    Kind kind = Kind::null;
+
+    bool boolean = false;      ///< Kind::boolean
+    double number = 0.0;       ///< Kind::number
+    std::string raw;           ///< Kind::number: exact token text
+    std::string str;           ///< Kind::string (unescaped)
+    std::vector<Value> items;  ///< Kind::array
+    /** Kind::object, in document order. */
+    std::vector<std::pair<std::string, Value>> members;
+
+    bool isNull() const { return kind == Kind::null; }
+
+    /** Object member by key, or nullptr (also for non-objects). */
+    const Value *find(const std::string &key) const;
+
+    /**
+     * The exact unsigned 64-bit value of a number token.
+     * @return false for non-numbers, negatives, fractions or
+     *     out-of-range values.
+     */
+    bool asU64(std::uint64_t &out) const;
+};
+
+/**
+ * Parse @p text as exactly one JSON value (surrounding whitespace
+ * allowed, trailing garbage rejected).
+ * @param error on failure: a one-line description with the byte
+ *     offset.
+ * @return true on success, filling @p out.
+ */
+bool parse(const std::string &text, Value &out, std::string &error);
+
+} // namespace gals::runner::json
+
+#endif // RUNNER_JSON_HH

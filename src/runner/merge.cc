@@ -1,0 +1,909 @@
+#include "runner/merge.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "runner/engine.hh"
+#include "runner/json.hh"
+#include "runner/scenario.hh"
+#include "runner/trajectory.hh"
+#include "sim/event_queue.hh"
+
+namespace gals::runner
+{
+
+namespace
+{
+
+bool
+readFile(const std::string &path, std::string &out, std::string &err)
+{
+    std::ifstream is(path, std::ios::in | std::ios::binary);
+    if (!is) {
+        err = "cannot open '" + path + "' for reading";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (is.bad()) {
+        err = "error reading '" + path + "'";
+        return false;
+    }
+    out = buf.str();
+    return true;
+}
+
+/** Split on '\n', dropping the trailing empty piece of a final
+ *  newline (every line of our formats is newline-terminated). */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        lines.push_back(text.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    return lines;
+}
+
+/** One trajectory record with its sort key. */
+struct Record
+{
+    std::string scenario;
+    std::size_t scenarioRank = 0; ///< resolved after the global order
+    std::uint64_t index = 0;
+    std::string line; ///< the raw record bytes (no newline)
+};
+
+/** Extract scenario + index + instruction budget from one
+ *  JSON-lines record. */
+bool
+jsonRecordKey(const std::string &line, std::string &scenario,
+              std::uint64_t &index, std::uint64_t &instructions,
+              std::string &err)
+{
+    json::Value v;
+    if (!json::parse(line, v, err))
+        return false;
+    const json::Value *s = v.find("scenario");
+    const json::Value *i = v.find("index");
+    const json::Value *insts = v.find("instructions");
+    if (!s || s->kind != json::Value::Kind::string || !i ||
+        !i->asU64(index) || !insts || !insts->asU64(instructions)) {
+        err = "record lacks string 'scenario' / integral 'index' / "
+              "'instructions'";
+        return false;
+    }
+    scenario = s->str;
+    return true;
+}
+
+/** Read one RFC-4180 field starting at @p pos; advances past the
+ *  field and its trailing comma (if any). */
+bool
+csvFieldAt(const std::string &line, std::size_t &pos,
+           std::string &out, std::string &err)
+{
+    out.clear();
+    if (pos < line.size() && line[pos] == '"') {
+        ++pos;
+        for (;;) {
+            if (pos >= line.size()) {
+                err = "unterminated quoted CSV field";
+                return false;
+            }
+            if (line[pos] == '"') {
+                if (pos + 1 < line.size() && line[pos + 1] == '"') {
+                    out += '"';
+                    pos += 2;
+                    continue;
+                }
+                ++pos;
+                break;
+            }
+            out += line[pos++];
+        }
+    } else {
+        while (pos < line.size() && line[pos] != ',')
+            out += line[pos++];
+    }
+    if (pos < line.size()) {
+        if (line[pos] != ',') {
+            err = "malformed CSV field boundary";
+            return false;
+        }
+        ++pos;
+    }
+    return true;
+}
+
+bool
+csvU64(const std::string &text, std::uint64_t &out)
+{
+    // strtoull silently wraps negatives ("-1" -> 2^64-1); our
+    // writers emit bare digits, so accept exactly that.
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 10);
+    return errno != ERANGE && *end == '\0';
+}
+
+/** Extract scenario + index + instruction budget (columns 1, 2 and
+ *  6 of the fixed reporter layout) from one CSV row. */
+bool
+csvRecordKey(const std::string &line, std::string &scenario,
+             std::uint64_t &index, std::uint64_t &instructions,
+             std::string &err)
+{
+    std::size_t pos = 0;
+    std::string idx, skip, insts;
+    if (!csvFieldAt(line, pos, scenario, err) ||
+        !csvFieldAt(line, pos, idx, err) ||
+        !csvFieldAt(line, pos, skip, err) || // benchmark
+        !csvFieldAt(line, pos, skip, err) || // gals
+        !csvFieldAt(line, pos, skip, err) || // dynamic_dvfs
+        !csvFieldAt(line, pos, insts, err))
+        return false;
+    if (!csvU64(idx, index)) {
+        err = "bad index column '" + idx + "'";
+        return false;
+    }
+    if (!csvU64(insts, instructions)) {
+        err = "bad instructions column '" + insts + "'";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Merge the per-file scenario orders into one canonical order. Each
+ * file lists its scenarios in execution order, i.e. as a subsequence
+ * of the canonical order; the greedy merge emits, at every step, the
+ * earliest file's head that no other file still holds at a non-head
+ * position. File order breaks genuine ties (a scenario present in
+ * only one file).
+ */
+bool
+mergeScenarioOrders(const std::vector<std::vector<std::string>> &seqs,
+                    std::vector<std::string> &order, std::string &err)
+{
+    std::vector<std::size_t> head(seqs.size(), 0);
+    for (;;) {
+        bool anyLeft = false;
+        std::string picked;
+        for (std::size_t f = 0; f < seqs.size() && picked.empty();
+             ++f) {
+            if (head[f] >= seqs[f].size())
+                continue;
+            anyLeft = true;
+            const std::string &cand = seqs[f][head[f]];
+            bool blocked = false;
+            for (std::size_t g = 0; g < seqs.size() && !blocked;
+                 ++g) {
+                for (std::size_t k = head[g] + 1;
+                     k < seqs[g].size() && !blocked; ++k)
+                    blocked = seqs[g][k] == cand;
+            }
+            if (!blocked)
+                picked = cand;
+        }
+        if (!anyLeft)
+            return true;
+        if (picked.empty()) {
+            err = "shard files disagree on scenario order";
+            return false;
+        }
+        order.push_back(picked);
+        for (std::size_t f = 0; f < seqs.size(); ++f)
+            if (head[f] < seqs[f].size() &&
+                seqs[f][head[f]] == picked)
+                ++head[f];
+    }
+}
+
+std::size_t
+rankOf(const std::vector<std::string> &order, const std::string &name)
+{
+    return static_cast<std::size_t>(
+        std::find(order.begin(), order.end(), name) - order.begin());
+}
+
+/** A manifest read back from disk. */
+struct ParsedManifest
+{
+    std::string version;    ///< galssim_version
+    std::string engineName; ///< "calendar" / "heap"
+    SweepOptions opts;      ///< instructions, seeds, benchmarks, shard
+    std::string output;     ///< trajectory path; empty when null
+    std::vector<ManifestScenario> scenarios;
+};
+
+bool
+readManifest(const std::string &path, ParsedManifest &out,
+             std::string &err)
+{
+    std::string text;
+    if (!readFile(path, text, err))
+        return false;
+    json::Value v;
+    if (!json::parse(text, v, err)) {
+        err = path + ": " + err;
+        return false;
+    }
+
+    const auto fail = [&](const std::string &what) {
+        err = path + ": " + what;
+        return false;
+    };
+
+    std::uint64_t manifestVersion = 0;
+    const json::Value *mv = v.find("manifest_version");
+    if (!mv || !mv->asU64(manifestVersion) || manifestVersion != 1)
+        return fail("unsupported manifest_version");
+
+    const json::Value *ver = v.find("galssim_version");
+    const json::Value *eng = v.find("engine");
+    const json::Value *insts = v.find("instructions");
+    const json::Value *seeds = v.find("seeds");
+    if (!ver || ver->kind != json::Value::Kind::string || !eng ||
+        eng->kind != json::Value::Kind::string || !insts ||
+        !insts->asU64(out.opts.instructions) || !seeds ||
+        seeds->kind != json::Value::Kind::array)
+        return fail("missing/malformed version, engine, "
+                    "instructions or seeds");
+    out.version = ver->str;
+    out.engineName = eng->str;
+
+    for (const json::Value &s : seeds->items) {
+        std::uint64_t seed = 0;
+        if (!s.asU64(seed))
+            return fail("non-integral seed");
+        out.opts.explicitSeeds.push_back(seed);
+    }
+    if (out.opts.explicitSeeds.empty())
+        return fail("empty seeds list");
+    out.opts.seed = out.opts.explicitSeeds.front();
+
+    if (const json::Value *bench = v.find("benchmarks")) {
+        if (bench->kind != json::Value::Kind::array)
+            return fail("malformed benchmarks");
+        for (const json::Value &b : bench->items) {
+            if (b.kind != json::Value::Kind::string)
+                return fail("non-string benchmark");
+            out.opts.benchmarks.push_back(b.str);
+        }
+    }
+
+    if (const json::Value *shard = v.find("shard")) {
+        const json::Value *idx = shard->find("index");
+        const json::Value *cnt = shard->find("count");
+        std::uint64_t i = 0, n = 0;
+        if (!idx || !idx->asU64(i) || !cnt || !cnt->asU64(n) ||
+            i < 1 || n < 1 || i > n)
+            return fail("malformed shard object");
+        out.opts.shard.index = static_cast<unsigned>(i);
+        out.opts.shard.count = static_cast<unsigned>(n);
+    }
+
+    if (const json::Value *outPath = v.find("output"))
+        if (outPath->kind == json::Value::Kind::string)
+            out.output = outPath->str;
+
+    const json::Value *scens = v.find("scenarios");
+    if (!scens || scens->kind != json::Value::Kind::array)
+        return fail("missing scenarios");
+    for (const json::Value &s : scens->items) {
+        ManifestScenario ms;
+        const json::Value *name = s.find("name");
+        const json::Value *grid = s.find("grid");
+        const json::Value *replicas = s.find("replicas");
+        const json::Value *hash = s.find("config_hash");
+        std::uint64_t g = 0, r = 0;
+        if (!name || name->kind != json::Value::Kind::string ||
+            !grid || !grid->asU64(g) || !replicas ||
+            !replicas->asU64(r) || !hash ||
+            hash->kind != json::Value::Kind::string)
+            return fail("malformed scenario entry");
+        ms.name = name->str;
+        ms.gridSize = g;
+        ms.replicas = r;
+        errno = 0;
+        char *end = nullptr;
+        ms.configHash =
+            std::strtoull(hash->str.c_str(), &end, 16);
+        if (hash->str.size() != 16 || errno == ERANGE ||
+            *end != '\0')
+            return fail("malformed config_hash");
+        out.scenarios.push_back(std::move(ms));
+    }
+    return true;
+}
+
+bool
+sameScenarios(const std::vector<ManifestScenario> &a,
+              const std::vector<ManifestScenario> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].name != b[i].name ||
+            a[i].gridSize != b[i].gridSize ||
+            a[i].replicas != b[i].replicas ||
+            a[i].configHash != b[i].configHash)
+            return false;
+    return true;
+}
+
+/** Directory part of @p path including the trailing '/', or empty. */
+std::string
+dirName(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash + 1);
+}
+
+} // namespace
+
+bool
+mergeTrajectories(const std::vector<std::string> &shardFiles,
+                  const std::string &outputPath, std::ostream &diag,
+                  const MergePlan *expected)
+{
+    if (shardFiles.empty()) {
+        diag << "merge: no shard files given\n";
+        return false;
+    }
+    const TrajectoryFormat format =
+        trajectoryFormatForPath(outputPath);
+
+    std::string err;
+    std::vector<Record> records;
+    std::vector<std::vector<std::string>> scenarioSeqs;
+    // Per file, per scenario (parallel to scenarioSeqs): the record
+    // indices in file order, for the shard-stride completeness
+    // checks below.
+    std::vector<std::vector<std::vector<std::uint64_t>>> indexSeqs;
+    // Instruction budget per scenario, for cross-file sweep
+    // consistency.
+    std::map<std::string, std::uint64_t> instsByScenario;
+    std::string header; // CSV only
+
+    for (const std::string &path : shardFiles) {
+        if (trajectoryFormatForPath(path) != format) {
+            diag << "merge: '" << path << "' and '" << outputPath
+                 << "' disagree on trajectory format "
+                    "(mixed .csv / .jsonl?)\n";
+            return false;
+        }
+        std::string text;
+        if (!readFile(path, text, err)) {
+            diag << "merge: " << err << "\n";
+            return false;
+        }
+        std::vector<std::string> lines = splitLines(text);
+        scenarioSeqs.emplace_back();
+        indexSeqs.emplace_back();
+        std::vector<std::string> &seq = scenarioSeqs.back();
+        std::vector<std::vector<std::uint64_t>> &idx =
+            indexSeqs.back();
+
+        std::size_t lineNo = 0;
+        for (std::string &line : lines) {
+            ++lineNo;
+            if (format == TrajectoryFormat::csv && lineNo == 1) {
+                // The header row. Every non-empty shard writes the
+                // same one; keep the first, insist the rest match.
+                if (header.empty())
+                    header = line;
+                else if (line != header) {
+                    diag << "merge: '" << path
+                         << "' has a different CSV header\n";
+                    return false;
+                }
+                continue;
+            }
+            Record rec;
+            std::uint64_t instructions = 0;
+            const bool ok =
+                format == TrajectoryFormat::jsonLines
+                    ? jsonRecordKey(line, rec.scenario, rec.index,
+                                    instructions, err)
+                    : csvRecordKey(line, rec.scenario, rec.index,
+                                   instructions, err);
+            if (!ok) {
+                diag << "merge: " << path << ":" << lineNo << ": "
+                     << err << "\n";
+                return false;
+            }
+            // Shards of one sweep share one instruction budget per
+            // scenario; a disagreement means the inputs come from
+            // different sweeps and must not fuse.
+            const auto [it, inserted] = instsByScenario.emplace(
+                rec.scenario, instructions);
+            if (!inserted && it->second != instructions) {
+                diag << "merge: " << path << ":" << lineNo
+                     << ": scenario '" << rec.scenario
+                     << "' records disagree on instructions ("
+                     << it->second << " vs " << instructions
+                     << ") — shard files from different sweeps?\n";
+                return false;
+            }
+            if (seq.empty() || seq.back() != rec.scenario) {
+                // A scenario's records are contiguous per file; a
+                // reappearance means the file is not a shard
+                // trajectory.
+                if (std::find(seq.begin(), seq.end(),
+                              rec.scenario) != seq.end()) {
+                    diag << "merge: " << path << ":" << lineNo
+                         << ": scenario '" << rec.scenario
+                         << "' records are not contiguous\n";
+                    return false;
+                }
+                seq.push_back(rec.scenario);
+                idx.emplace_back();
+            }
+            if (!idx.back().empty() &&
+                idx.back().back() >= rec.index) {
+                diag << "merge: " << path << ":" << lineNo
+                     << ": indices not strictly ascending (not a "
+                        "shard trajectory?)\n";
+                return false;
+            }
+            idx.back().push_back(rec.index);
+            rec.line = std::move(line);
+            records.push_back(std::move(rec));
+        }
+    }
+
+    // Completeness evidence from the records themselves: within one
+    // file a scenario's indices step by the shard count, so any
+    // scenario with two records in some file reveals how many shard
+    // files a complete merge needs.
+    std::uint64_t stride = 0;
+    for (std::size_t f = 0; f < indexSeqs.size(); ++f) {
+        for (const std::vector<std::uint64_t> &xs : indexSeqs[f]) {
+            for (std::size_t k = 1; k < xs.size(); ++k) {
+                const std::uint64_t d = xs[k] - xs[k - 1];
+                if (stride == 0)
+                    stride = d;
+                if (d != stride) {
+                    diag << "merge: '" << shardFiles[f]
+                         << "': shard stride " << d
+                         << " disagrees with " << stride
+                         << " (files from different sweeps?)\n";
+                    return false;
+                }
+            }
+        }
+    }
+    if (expected) {
+        if (shardFiles.size() != expected->shardCount) {
+            diag << "merge: manifests declare "
+                 << expected->shardCount << " shards but "
+                 << shardFiles.size()
+                 << " trajectory files were given\n";
+            return false;
+        }
+    } else if (stride != 0) {
+        if (shardFiles.size() != stride) {
+            diag << "merge: records step by " << stride
+                 << " (a " << stride << "-way sharded sweep) but "
+                 << shardFiles.size() << " file"
+                 << (shardFiles.size() == 1 ? " was" : "s were")
+                 << " given (missing shard?)\n";
+            return false;
+        }
+        // One file = one shard: every scenario in a file must share
+        // the shard's residue.
+        for (std::size_t f = 0; f < indexSeqs.size(); ++f) {
+            std::uint64_t residue = stride;
+            for (const auto &xs : indexSeqs[f]) {
+                if (xs.empty())
+                    continue;
+                if (residue == stride)
+                    residue = xs.front() % stride;
+                else if (xs.front() % stride != residue) {
+                    diag << "merge: '" << shardFiles[f]
+                         << "' mixes records of different shards\n";
+                    return false;
+                }
+            }
+        }
+    } else {
+        // No stride evidence at all (no scenario has two records in
+        // any one file — e.g. grid size <= shard count): the record
+        // set of a complete merge is indistinguishable from that of
+        // a truncated one, so refuse rather than silently archive a
+        // plausible-looking partial trajectory. The shard manifests
+        // prove completeness where the records cannot.
+        diag << "merge: completeness cannot be proven from the "
+                "records alone (no scenario has two records in any "
+                "input file); pass the shard manifests via "
+                "--merge-manifest\n";
+        return false;
+    }
+
+    std::vector<std::string> order;
+    if (!mergeScenarioOrders(scenarioSeqs, order, err)) {
+        diag << "merge: " << err << "\n";
+        return false;
+    }
+    for (Record &rec : records)
+        rec.scenarioRank = rankOf(order, rec.scenario);
+
+    std::stable_sort(records.begin(), records.end(),
+                     [](const Record &a, const Record &b) {
+                         return a.scenarioRank != b.scenarioRank
+                                    ? a.scenarioRank < b.scenarioRank
+                                    : a.index < b.index;
+                     });
+
+    // The merged sequence must be exactly 0..k-1 per scenario:
+    // duplicates mean overlapping shards, gaps mean a missing one.
+    std::uint64_t expect = 0;
+    std::size_t rank = static_cast<std::size_t>(-1);
+    std::vector<std::uint64_t> counts(order.size(), 0);
+    for (const Record &rec : records) {
+        if (rec.scenarioRank != rank) {
+            rank = rec.scenarioRank;
+            expect = 0;
+        }
+        if (rec.index != expect) {
+            diag << "merge: scenario '" << order[rank] << "': "
+                 << (rec.index < expect
+                         ? "duplicate record (overlapping shards?)"
+                         : "missing records (missing shard?)")
+                 << " at index " << (rec.index < expect ? rec.index
+                                                        : expect)
+                 << "\n";
+            return false;
+        }
+        ++expect;
+        counts[rank] = expect;
+    }
+
+    if (expected) {
+        // The manifests are authoritative: the merged records must
+        // be exactly the manifest's scenarios at their full run
+        // counts (scenarios with empty grids never emit records).
+        std::vector<std::string> wantNames;
+        std::vector<std::uint64_t> wantCounts;
+        for (const ManifestScenario &ms : expected->scenarios) {
+            if (ms.gridSize * ms.replicas == 0)
+                continue;
+            wantNames.push_back(ms.name);
+            wantCounts.push_back(ms.gridSize * ms.replicas);
+        }
+        if (order != wantNames) {
+            diag << "merge: trajectory scenarios do not match the "
+                    "shard manifests\n";
+            return false;
+        }
+        for (std::size_t r = 0; r < counts.size(); ++r)
+            if (counts[r] != wantCounts[r]) {
+                diag << "merge: scenario '" << order[r] << "': "
+                     << counts[r] << " records but the manifests "
+                     << "declare " << wantCounts[r]
+                     << " (missing shard?)\n";
+                return false;
+            }
+    }
+
+    std::ofstream os(outputPath, std::ios::out | std::ios::trunc |
+                                     std::ios::binary);
+    if (!os) {
+        diag << "merge: cannot open '" << outputPath
+             << "' for writing\n";
+        return false;
+    }
+    if (format == TrajectoryFormat::csv && !header.empty())
+        os << header << "\n";
+    for (const Record &rec : records)
+        os << rec.line << "\n";
+    os.flush();
+    if (!os) {
+        // A truncated file would pass for a canonical trajectory in
+        // a later collection step; remove it like the CLI removes
+        // the companion manifest.
+        os.close();
+        std::remove(outputPath.c_str());
+        diag << "merge: error writing '" << outputPath
+             << "' (partial file removed)\n";
+        return false;
+    }
+    diag << "merge: " << records.size() << " records from "
+         << shardFiles.size() << " shard file"
+         << (shardFiles.size() == 1 ? "" : "s") << " -> '"
+         << outputPath << "'\n";
+    if (!expected)
+        // Records cannot prove every run is present: a sweep whose
+        // tail records were lost can be indistinguishable from a
+        // complete smaller sweep (e.g. shards {0,3},{1,4},{2,5} are
+        // a complete 6-run grid *and* a 7-run grid missing run 6).
+        diag << "merge: note — completeness inferred from the "
+                "records alone; pass the shard manifests via "
+                "--merge-manifest for the authoritative check\n";
+    return true;
+}
+
+bool
+mergeManifests(const std::vector<std::string> &shardFiles,
+               const std::string &manifestPath,
+               const std::string &outputPath, std::ostream &diag,
+               MergePlan *plan)
+{
+    if (shardFiles.empty()) {
+        diag << "merge-manifest: no shard manifests given\n";
+        return false;
+    }
+    std::string err;
+    std::vector<ParsedManifest> parsed(shardFiles.size());
+    for (std::size_t i = 0; i < shardFiles.size(); ++i) {
+        if (!readManifest(shardFiles[i], parsed[i], err)) {
+            diag << "merge-manifest: " << err << "\n";
+            return false;
+        }
+        if (!parsed[i].opts.shard.active()) {
+            diag << "merge-manifest: '" << shardFiles[i]
+                 << "' is not a shard manifest (no shard object)\n";
+            return false;
+        }
+    }
+
+    const ParsedManifest &first = parsed.front();
+    if (first.version != galssimVersion()) {
+        diag << "merge-manifest: manifests were written by galssim "
+             << first.version << ", this binary is "
+             << galssimVersion() << "\n";
+        return false;
+    }
+    const unsigned count = first.opts.shard.count;
+    if (shardFiles.size() != count) {
+        diag << "merge-manifest: manifests declare " << count
+             << " shards but " << shardFiles.size()
+             << " files were given\n";
+        return false;
+    }
+    std::vector<bool> seen(count + 1, false);
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        const ParsedManifest &m = parsed[i];
+        if (m.version != first.version ||
+            m.engineName != first.engineName ||
+            m.opts.instructions != first.opts.instructions ||
+            m.opts.explicitSeeds != first.opts.explicitSeeds ||
+            m.opts.benchmarks != first.opts.benchmarks ||
+            m.opts.shard.count != count ||
+            !sameScenarios(m.scenarios, first.scenarios)) {
+            diag << "merge-manifest: '" << shardFiles[i]
+                 << "' disagrees with '" << shardFiles.front()
+                 << "' (different sweep?)\n";
+            return false;
+        }
+        if (seen[m.opts.shard.index]) {
+            diag << "merge-manifest: shard " << m.opts.shard.index
+                 << "/" << count << " appears twice\n";
+            return false;
+        }
+        seen[m.opts.shard.index] = true;
+    }
+    for (unsigned i = 1; i <= count; ++i)
+        if (!seen[i]) {
+            diag << "merge-manifest: shard " << i << "/" << count
+                 << " is missing\n";
+            return false;
+        }
+
+    SweepOptions opts = first.opts;
+    opts.shard = ShardSpec(); // the merged manifest is unsharded
+    // Not writeManifestFile(): an unwritable path must report back,
+    // not gals_fatal the process (the no-die contract above).
+    std::ofstream os(manifestPath, std::ios::out | std::ios::trunc |
+                                       std::ios::binary);
+    if (!os) {
+        diag << "merge-manifest: cannot open '" << manifestPath
+             << "' for writing\n";
+        return false;
+    }
+    writeManifest(os, opts, first.engineName, outputPath,
+                  first.scenarios);
+    os.flush();
+    if (!os) {
+        // Same policy as the trajectory merge: no canonical-looking
+        // partial artifact left behind.
+        os.close();
+        std::remove(manifestPath.c_str());
+        diag << "merge-manifest: error writing '" << manifestPath
+             << "' (partial file removed)\n";
+        return false;
+    }
+    diag << "merge-manifest: " << count << " shard manifests -> '"
+         << manifestPath << "'\n";
+    if (plan) {
+        plan->shardCount = count;
+        plan->scenarios = first.scenarios;
+    }
+    return true;
+}
+
+bool
+verifyManifest(const ScenarioRegistry &registry,
+               const ExperimentEngine &engine,
+               const std::string &manifestPath, std::ostream &diag)
+{
+    std::string err;
+    ParsedManifest m;
+    if (!readManifest(manifestPath, m, err)) {
+        diag << "verify: " << err << "\n";
+        return false;
+    }
+    if (m.version != galssimVersion()) {
+        diag << "verify: manifest was written by galssim "
+             << m.version << ", this binary is " << galssimVersion()
+             << " — results are not comparable\n";
+        return false;
+    }
+    if (m.engineName != "calendar" && m.engineName != "heap") {
+        diag << "verify: unknown engine '" << m.engineName << "'\n";
+        return false;
+    }
+    if (m.output.empty()) {
+        diag << "verify: manifest records no trajectory "
+                "(the archived run had no --output)\n";
+        return false;
+    }
+
+    // The manifest records --output as the archiving invocation
+    // spelled it, so for a relative path the trajectory may sit (a)
+    // next to the manifest (archives travel as a pair — the CI
+    // artifact case), (b) next to the manifest under its basename
+    // (a pair moved together after archiving into a subdirectory),
+    // or (c) at the recorded path from the current directory
+    // (verifying where the archive was written). Manifest-adjacent
+    // candidates come first: the pair travels together, and a
+    // fresher unrelated file at the cwd-relative path must not
+    // shadow the archive's true companion.
+    std::string archivePath = m.output;
+    if (m.output.front() != '/') {
+        const std::size_t slash = m.output.find_last_of('/');
+        const std::string base = slash == std::string::npos
+                                     ? m.output
+                                     : m.output.substr(slash + 1);
+        for (const std::string &candidate :
+             {dirName(manifestPath) + m.output,
+              dirName(manifestPath) + base, m.output}) {
+            if (std::ifstream(candidate).good()) {
+                archivePath = candidate;
+                break;
+            }
+        }
+    }
+    std::string archived;
+    if (!readFile(archivePath, archived, err)) {
+        diag << "verify: " << err << "\n";
+        return false;
+    }
+
+    // The archived engine governs the replay, but the override must
+    // not leak past this call (test binaries and future multi-verify
+    // CLIs run other work after us).
+    struct EngineRestore
+    {
+        QueueEngine prev = EventQueue::defaultEngine();
+        ~EngineRestore() { EventQueue::setDefaultEngine(prev); }
+    } engineRestore;
+    EventQueue::setDefaultEngine(parseQueueEngine(m.engineName));
+
+    const TrajectoryFormat format =
+        trajectoryFormatForPath(m.output);
+    std::ostringstream regen;
+    TrajectorySink sink(regen, format, archivePath);
+
+    for (const ManifestScenario &ms : m.scenarios) {
+        const Scenario *scenario = registry.find(ms.name);
+        if (!scenario) {
+            diag << "verify: unknown scenario '" << ms.name
+                 << "' (registry drift?)\n";
+            return false;
+        }
+        std::size_t gridSize = 0;
+        const std::vector<RunConfig> runs =
+            expandReplicatedRuns(*scenario, m.opts, &gridSize);
+        if (gridSize != ms.gridSize ||
+            m.opts.seedList().size() != ms.replicas) {
+            diag << "verify: scenario '" << ms.name
+                 << "': grid " << gridSize << "x"
+                 << m.opts.seedList().size()
+                 << " != archived " << ms.gridSize << "x"
+                 << ms.replicas << "\n";
+            return false;
+        }
+        if (runConfigHash(runs) != ms.configHash) {
+            diag << "verify: scenario '" << ms.name
+                 << "': config hash mismatch — the simulator or "
+                    "scenario definition changed since the archive "
+                    "was written\n";
+            return false;
+        }
+        const std::vector<std::size_t> indices =
+            shardRunIndices(runs.size(), m.opts.shard);
+        const std::vector<RunConfig> shardRuns =
+            selectRuns(runs, indices);
+        const std::vector<RunResults> results =
+            engine.run(shardRuns);
+        sink.append(ms.name, shardRuns, results,
+                    m.opts.shard.active() ? &indices : nullptr);
+        diag << "verify: " << ms.name << ": " << results.size()
+             << " runs re-executed\n";
+    }
+    sink.close();
+
+    // The CSV header row is not a record; keep the diagnostics'
+    // record counts and indices honest about it.
+    const std::size_t headerLines =
+        format == TrajectoryFormat::csv ? 1 : 0;
+    const auto recordCount = [&](std::size_t lines) {
+        return lines > headerLines ? lines - headerLines : 0;
+    };
+
+    const std::string &expected = archived;
+    const std::string actual = regen.str();
+    if (expected == actual) {
+        diag << "verify: OK — '" << archivePath << "' ("
+             << recordCount(splitLines(actual).size()) << " records, "
+             << actual.size()
+             << " bytes) is byte-identical to the replay\n";
+        return true;
+    }
+
+    const std::vector<std::string> expLines = splitLines(expected);
+    const std::vector<std::string> actLines = splitLines(actual);
+    diag << "verify: FAILED — regenerated trajectory differs from '"
+         << archivePath << "'\n";
+    if (expLines.size() != actLines.size())
+        diag << "verify:   archived has "
+             << recordCount(expLines.size()) << " records, replay has "
+             << recordCount(actLines.size()) << "\n";
+    const std::size_t n =
+        std::max(expLines.size(), actLines.size());
+    std::size_t shown = 0, differing = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string *e =
+            i < expLines.size() ? &expLines[i] : nullptr;
+        const std::string *a =
+            i < actLines.size() ? &actLines[i] : nullptr;
+        if (e && a && *e == *a)
+            continue;
+        ++differing;
+        if (shown < 4) {
+            ++shown;
+            if (i < headerLines)
+                diag << "verify:   header:\n";
+            else
+                diag << "verify:   record " << i - headerLines
+                     << ":\n";
+            diag << "verify:     archived: "
+                 << (e ? *e : "<missing>") << "\n"
+                 << "verify:     replay:   "
+                 << (a ? *a : "<missing>") << "\n";
+        }
+    }
+    diag << "verify:   " << differing << " differing line"
+         << (differing == 1 ? "" : "s") << " in total\n";
+    return false;
+}
+
+} // namespace gals::runner

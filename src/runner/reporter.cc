@@ -62,11 +62,21 @@ metricValue(const MetricAccessor &acc, const RunResults &r, bool json)
 
 void
 checkSizes(const std::vector<RunConfig> &cfgs,
-           const std::vector<RunResults> &results)
+           const std::vector<RunResults> &results,
+           const std::vector<std::size_t> *indices)
 {
     gals_assert(cfgs.size() == results.size(),
                 "reporter: ", cfgs.size(), " configs vs ",
                 results.size(), " results");
+    gals_assert(!indices || indices->size() == results.size(),
+                "reporter: ", indices->size(), " indices vs ",
+                results.size(), " results");
+}
+
+std::size_t
+recordIndex(const std::vector<std::size_t> *indices, std::size_t i)
+{
+    return indices ? (*indices)[i] : i;
 }
 
 } // namespace
@@ -145,14 +155,15 @@ csvField(const std::string &s)
 void
 writeJsonLines(std::ostream &os, const std::string &scenario,
                const std::vector<RunConfig> &cfgs,
-               const std::vector<RunResults> &results)
+               const std::vector<RunResults> &results,
+               const std::vector<std::size_t> *indices)
 {
-    checkSizes(cfgs, results);
+    checkSizes(cfgs, results, indices);
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunConfig &c = cfgs[i];
         const RunResults &r = results[i];
         os << "{\"scenario\":" << jsonQuote(scenario)
-           << ",\"index\":" << i
+           << ",\"index\":" << recordIndex(indices, i)
            << ",\"benchmark\":" << jsonQuote(r.benchmark)
            << ",\"gals\":" << (r.gals ? "true" : "false")
            << ",\"dynamic_dvfs\":" << (c.dynamicDvfs ? "true" : "false")
@@ -189,13 +200,15 @@ writeCsvHeader(std::ostream &os, const RunResults &sample)
 void
 writeCsvRows(std::ostream &os, const std::string &scenario,
              const std::vector<RunConfig> &cfgs,
-             const std::vector<RunResults> &results)
+             const std::vector<RunResults> &results,
+             const std::vector<std::size_t> *indices)
 {
-    checkSizes(cfgs, results);
+    checkSizes(cfgs, results, indices);
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunConfig &c = cfgs[i];
         const RunResults &r = results[i];
-        os << csvField(scenario) << "," << i << ","
+        os << csvField(scenario) << "," << recordIndex(indices, i)
+           << ","
            << csvField(r.benchmark) << "," << (r.gals ? 1 : 0) << ","
            << (c.dynamicDvfs ? 1 : 0) << "," << num(c.instructions)
            << "," << num(c.seed) << ","
@@ -213,7 +226,7 @@ writeCsv(std::ostream &os, const std::string &scenario,
          const std::vector<RunConfig> &cfgs,
          const std::vector<RunResults> &results)
 {
-    checkSizes(cfgs, results);
+    checkSizes(cfgs, results, nullptr);
     // Unit-energy columns from the first record; every run reports
     // the same unit set (the Unit enum).
     writeCsvHeader(os, results.empty() ? RunResults() : results.front());

@@ -66,10 +66,18 @@ std::string csvField(const std::string &s);
 
 /// @}
 
-/** Emit one JSON object per run (JSON-lines). */
+/**
+ * Emit one JSON object per run (JSON-lines). @p indices, when given,
+ * supplies each record's canonical run index (its position in the
+ * full unsharded grid) instead of the default 0..n-1 — a shard's
+ * records then carry the same bytes they would in an unsharded run,
+ * which is what lets `--merge` reassemble shard files cmp-identical
+ * to the single-machine trajectory.
+ */
 void writeJsonLines(std::ostream &os, const std::string &scenario,
                     const std::vector<RunConfig> &cfgs,
-                    const std::vector<RunResults> &results);
+                    const std::vector<RunResults> &results,
+                    const std::vector<std::size_t> *indices = nullptr);
 
 /** Emit a CSV table, one row per run, unit energies flattened into
  *  energy_nj.<unit> columns. */
@@ -88,10 +96,13 @@ void writeCsv(std::ostream &os, const std::string &scenario,
  *  set (identical for every run: the power-model Unit enum). */
 void writeCsvHeader(std::ostream &os, const RunResults &sample);
 
-/** CSV data rows only, in the writeCsvHeader() column order. */
+/** CSV data rows only, in the writeCsvHeader() column order.
+ *  @p indices as in writeJsonLines(): canonical run indices for
+ *  shard slices. */
 void writeCsvRows(std::ostream &os, const std::string &scenario,
                   const std::vector<RunConfig> &cfgs,
-                  const std::vector<RunResults> &results);
+                  const std::vector<RunResults> &results,
+                  const std::vector<std::size_t> *indices = nullptr);
 
 /// @}
 

@@ -108,6 +108,20 @@ expandReplicatedRuns(const Scenario &s, const SweepOptions &opts,
     return all;
 }
 
+std::vector<RunConfig>
+selectRuns(const std::vector<RunConfig> &runs,
+           const std::vector<std::size_t> &indices)
+{
+    std::vector<RunConfig> out;
+    out.reserve(indices.size());
+    for (std::size_t i : indices) {
+        gals_assert(i < runs.size(), "selectRuns: index ", i,
+                    " out of range (", runs.size(), " runs)");
+        out.push_back(runs[i]);
+    }
+    return out;
+}
+
 PairResults
 pairAt(const std::vector<RunResults> &results, std::size_t i)
 {

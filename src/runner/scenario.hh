@@ -50,6 +50,13 @@ struct SweepOptions
      *  @ref seed / @ref seedReplicas when non-empty. */
     std::vector<std::uint64_t> explicitSeeds;
 
+    /** Grid shard executed by this invocation (`--shard i/N`),
+     *  applied to every scenario's replica-expanded flat grid via
+     *  shardRunIndices(). Default: inactive (the whole grid, with
+     *  normal reports); an explicit 1/1 is a sharded run of one
+     *  slice. */
+    ShardSpec shard;
+
     /** The replica seeds, in run order: @ref explicitSeeds when
      *  given, else seed, seed+1, ..., seed+seedReplicas-1. */
     std::vector<std::uint64_t> seedList() const;
@@ -171,6 +178,12 @@ PairResults pairAt(const std::vector<RunResults> &results,
 std::vector<RunConfig> expandReplicatedRuns(const Scenario &s,
                                             const SweepOptions &opts,
                                             std::size_t *gridSize);
+
+/** The subset of @p runs at @p indices (ascending canonical order —
+ *  the shardRunIndices() slice), for executing one shard of a
+ *  grid. */
+std::vector<RunConfig> selectRuns(const std::vector<RunConfig> &runs,
+                                  const std::vector<std::size_t> &indices);
 
 } // namespace gals::runner
 

@@ -40,44 +40,58 @@ trajectoryFormatName(TrajectoryFormat format)
 
 TrajectorySink::TrajectorySink(const std::string &path)
     : path_(path), format_(trajectoryFormatForPath(path)),
-      os_(path, std::ios::out | std::ios::trunc | std::ios::binary)
+      file_(path, std::ios::out | std::ios::trunc | std::ios::binary),
+      os_(&file_)
 {
-    if (!os_)
+    if (!file_)
         gals_fatal("cannot open trajectory file '", path_,
                    "' for writing");
+}
+
+TrajectorySink::TrajectorySink(std::ostream &os,
+                               TrajectoryFormat format,
+                               const std::string &path)
+    : path_(path), format_(format), os_(&os)
+{
 }
 
 void
 TrajectorySink::append(const std::string &scenario,
                        const std::vector<RunConfig> &cfgs,
-                       const std::vector<RunResults> &results)
+                       const std::vector<RunResults> &results,
+                       const std::vector<std::size_t> *indices)
 {
     if (format_ == TrajectoryFormat::jsonLines) {
-        writeJsonLines(os_, scenario, cfgs, results);
-        return;
+        writeJsonLines(*os_, scenario, cfgs, results, indices);
+    } else if (!results.empty()) {
+        // Defer the header to the first non-empty grid: an empty one
+        // (a literature-only scenario, or a shard slice with no
+        // records) has no record to take the energy_nj.* column set
+        // from.
+        if (!wroteHeader_) {
+            writeCsvHeader(*os_, results.front());
+            wroteHeader_ = true;
+        }
+        writeCsvRows(*os_, scenario, cfgs, results, indices);
     }
-    // Defer the header to the first non-empty grid: an empty one
-    // (a literature-only scenario) has no record to take the
-    // energy_nj.* column set from.
-    if (results.empty())
-        return;
-    if (!wroteHeader_) {
-        writeCsvHeader(os_, results.front());
-        wroteHeader_ = true;
-    }
-    writeCsvRows(os_, scenario, cfgs, results);
+    // Fail the sweep now, not after simulating the remaining
+    // scenarios: a bad stream here means records are already lost.
+    if (!*os_)
+        gals_fatal("error writing trajectory file '", path_, "'");
 }
 
 void
 TrajectorySink::close()
 {
-    if (!os_.is_open())
+    if (os_ == &file_ && !file_.is_open())
         return;
-    os_.flush();
-    if (!os_)
+    os_->flush();
+    if (!*os_)
         gals_fatal("error writing trajectory file '", path_, "'");
-    os_.close();
-    if (!os_)
+    if (os_ != &file_)
+        return;
+    file_.close();
+    if (!file_)
         gals_fatal("error closing trajectory file '", path_, "'");
 }
 
@@ -115,6 +129,10 @@ writeManifest(std::ostream &os, const SweepOptions &opts,
         os << jsonQuote(b);
     }
     os << "],\n";
+
+    if (opts.shard.active())
+        os << "  \"shard\": {\"index\": " << opts.shard.index
+           << ", \"count\": " << opts.shard.count << "},\n";
 
     if (outputPath.empty()) {
         os << "  \"output\": null,\n";

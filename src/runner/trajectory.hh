@@ -7,12 +7,19 @@
  * CSV when PATH ends in `.csv` — through the TrajectorySink below.
  * `--manifest PATH` additionally writes a run manifest describing the
  * whole evaluation (galssim version, engine, instruction budget,
- * seeds, and per-scenario grid sizes + config hashes).
+ * seeds, shard, and per-scenario grid sizes + config hashes).
  *
  * Both files are deliberately free of timestamps, hostnames and job
  * counts: re-running the same sweep on any machine at any `--jobs`
  * must produce byte-identical bytes, so an archived evaluation can be
- * verified with `cmp`.
+ * verified with `cmp` (or `galsbench --verify MANIFEST`).
+ *
+ * Sharded sweeps (`--shard i/N`) write the same record bytes they
+ * would unsharded — each record carries its canonical grid index —
+ * so `galsbench --merge` can reassemble N shard files into the
+ * canonical single-machine trajectory (runner/merge.hh). The shard
+ * manifest records the canonical per-scenario grid (full grid size
+ * and full-grid config hash) plus a `shard` object naming the slice.
  */
 
 #ifndef RUNNER_TRAJECTORY_HH
@@ -46,10 +53,15 @@ TrajectoryFormat trajectoryFormatForPath(const std::string &path);
 const char *trajectoryFormatName(TrajectoryFormat format);
 
 /**
- * An open trajectory file accepting one scenario's finished grid at a
- * time. Rows are the raw per-run records (per-replica for multi-seed
- * sweeps) in engine order, so the file is byte-identical for any job
- * count. The CSV header is written once, before the first rows.
+ * An open trajectory file accepting one scenario's finished grid (or
+ * shard slice) at a time. Rows are the raw per-run records
+ * (per-replica for multi-seed sweeps) in engine order, so the file is
+ * byte-identical for any job count. The CSV header is written once,
+ * before the first rows.
+ *
+ * Write errors are detected eagerly: append() fails fatal as soon as
+ * the stream goes bad (disk full, unwritable path), rather than
+ * burning the rest of the sweep and only noticing at close().
  */
 class TrajectorySink
 {
@@ -58,13 +70,27 @@ class TrajectorySink
      *  created. */
     explicit TrajectorySink(const std::string &path);
 
-    /** Append one scenario's cfgs/results (parallel vectors). */
+    /**
+     * Write to a caller-owned stream instead of a file — this is how
+     * `--verify` regenerates an archived trajectory in memory before
+     * byte-comparing it. @p path is used in error messages only.
+     */
+    TrajectorySink(std::ostream &os, TrajectoryFormat format,
+                   const std::string &path = "<stream>");
+
+    /**
+     * Append one scenario's cfgs/results (parallel vectors).
+     * @p indices, when given, are the canonical grid indices of a
+     * shard slice (see writeJsonLines()).
+     */
     void append(const std::string &scenario,
                 const std::vector<RunConfig> &cfgs,
-                const std::vector<RunResults> &results);
+                const std::vector<RunResults> &results,
+                const std::vector<std::size_t> *indices = nullptr);
 
     /** Flush and verify the stream; fatal on any write error. Safe
-     *  to call more than once. */
+     *  to call more than once. Caller-owned streams are flushed but
+     *  not closed. */
     void close();
 
     const std::string &path() const { return path_; }
@@ -73,7 +99,8 @@ class TrajectorySink
   private:
     std::string path_;
     TrajectoryFormat format_;
-    std::ofstream os_;
+    std::ofstream file_;
+    std::ostream *os_; ///< &file_, or the caller's stream
     bool wroteHeader_ = false;
 };
 
@@ -81,7 +108,7 @@ class TrajectorySink
 struct ManifestScenario
 {
     std::string name;           ///< scenario key, e.g. "fig05"
-    std::size_t gridSize = 0;   ///< runs per replica
+    std::size_t gridSize = 0;   ///< runs per replica (full grid)
     std::size_t replicas = 0;   ///< seed replications
     std::uint64_t configHash = 0; ///< runConfigHash of the full grid
 };
@@ -91,7 +118,12 @@ struct ManifestScenario
  * key order, no timestamps or host details. @p engineName is the
  * event-queue engine (queueEngineName()), @p outputPath the
  * trajectory file this manifest describes (empty when --output was
- * not given).
+ * not given). A sharded sweep (opts.shard.active()) additionally
+ * records a `"shard": {"index": i, "count": N}` object; the scenario
+ * entries always describe the canonical full grid, so N shard
+ * manifests differ from the unsharded manifest only by the shard
+ * object and the output path — which is what lets
+ * `--merge-manifest` fuse them back byte-identically.
  */
 void writeManifest(std::ostream &os, const SweepOptions &opts,
                    const std::string &engineName,

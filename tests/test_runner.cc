@@ -10,13 +10,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <random>
 #include <sstream>
+#include <thread>
 
 #include "bench/bench_util.hh"
 #include "bench/register_all.hh"
 #include "runner/engine.hh"
+#include "runner/merge.hh"
 #include "runner/reporter.hh"
 #include "runner/scenario.hh"
+#include "runner/trajectory.hh"
 
 using namespace gals;
 using namespace gals::runner;
@@ -160,6 +168,227 @@ TEST(ExperimentEngine, ZeroJobsPicksHardwareConcurrency)
 {
     EXPECT_GE(ExperimentEngine(0).jobs(), 1u);
     EXPECT_EQ(ExperimentEngine(3).jobs(), 3u);
+}
+
+TEST(WorkStealing, HeterogeneousTasksRunExactlyOnceIntoTheirSlots)
+{
+    // Randomized heterogeneous "run lengths": task i busy-waits a
+    // pseudo-random few-hundred-microsecond interval, so with a
+    // static division one worker would finish long after the rest
+    // and the thieves must actually steal. The *output* contract is
+    // what matters: every index executed exactly once, results in
+    // per-index slots identical to the serial order.
+    std::mt19937 rng(0xC0FFEE);
+    for (unsigned jobs : {2u, 3u, 8u}) {
+        const std::size_t n = 64;
+        std::vector<unsigned> durationUs(n);
+        for (unsigned &d : durationUs)
+            d = rng() % 300;
+
+        std::vector<std::uint64_t> results(n, 0);
+        std::vector<std::atomic<unsigned>> hits(n);
+        for (auto &h : hits)
+            h = 0;
+
+        ExperimentEngine(jobs).runIndexed(n, [&](std::size_t i) {
+            const auto until =
+                std::chrono::steady_clock::now() +
+                std::chrono::microseconds(durationUs[i]);
+            while (std::chrono::steady_clock::now() < until) {
+            }
+            results[i] = 1000 + i * i;
+            ++hits[i];
+        });
+
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(hits[i].load(), 1u)
+                << "index " << i << " at jobs " << jobs;
+            EXPECT_EQ(results[i], 1000 + i * i);
+        }
+    }
+}
+
+TEST(WorkStealing, DegenerateCounts)
+{
+    std::atomic<unsigned> calls{0};
+    ExperimentEngine(8).runIndexed(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0u);
+    ExperimentEngine(8).runIndexed(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 1u);
+    // More workers than tasks: the pool clamps, every task still
+    // runs once.
+    std::vector<std::atomic<unsigned>> hits(3);
+    for (auto &h : hits)
+        h = 0;
+    ExperimentEngine(16).runIndexed(3,
+                                    [&](std::size_t i) { ++hits[i]; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1u);
+}
+
+TEST(WorkStealing, ShardedGridMatchesUnshardedSlice)
+{
+    // End to end through real simulations: running a shard slice
+    // must give exactly the results the same indices get in the
+    // full-grid run, for any job count.
+    SweepOptions opts = smallSweep();
+    opts.benchmarks = {"gcc", "adpcm"};
+    const auto runs = registry().find("fig05")->makeRuns(opts);
+    const auto full = ExperimentEngine(1).run(runs);
+
+    const ShardSpec shard{2, 3};
+    const auto indices = shardRunIndices(runs.size(), shard);
+    const auto slice = selectRuns(runs, indices);
+    const auto shardResults = ExperimentEngine(4).run(slice);
+
+    ASSERT_EQ(shardResults.size(), indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k)
+        expectIdentical(shardResults[k], full[indices[k]]);
+}
+
+namespace
+{
+
+/** Archive a small sweep (trajectory + manifest) the way galsbench
+ *  does, into @p dir; returns the manifest path. */
+std::string
+archiveSweep(const std::string &dir, const std::string &trajName)
+{
+    SweepOptions opts;
+    opts.instructions = 1500;
+    opts.benchmarks = {"gcc"};
+    opts.explicitSeeds = {0, 1};
+
+    const Scenario *scenario = registry().find("quickstart");
+    std::size_t gridSize = 0;
+    const auto runs = expandReplicatedRuns(*scenario, opts, &gridSize);
+    const auto results = ExperimentEngine(2).run(runs);
+
+    TrajectorySink sink(dir + trajName);
+    sink.append(scenario->name, runs, results);
+    sink.close();
+
+    const std::string manifestPath = dir + trajName + ".manifest";
+    writeManifestFile(manifestPath, opts, "calendar", trajName,
+                      {{scenario->name, gridSize, 2,
+                        runConfigHash(runs)}});
+    return manifestPath;
+}
+
+} // namespace
+
+TEST(Verify, ReplayOfArchivedManifestIsByteIdentical)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string manifest =
+        archiveSweep(dir, "verify_ok.jsonl");
+
+    std::ostringstream diag;
+    EXPECT_TRUE(verifyManifest(registry(), ExperimentEngine(2),
+                               manifest, diag))
+        << diag.str();
+    EXPECT_NE(diag.str().find("OK"), std::string::npos);
+}
+
+TEST(Verify, TamperedTrajectoryFailsWithRecordDiff)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string manifest =
+        archiveSweep(dir, "verify_tamper.jsonl");
+
+    // Flip one digit of one record.
+    const std::string traj = dir + "verify_tamper.jsonl";
+    std::string text;
+    {
+        std::ifstream is(traj, std::ios::binary);
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        text = buf.str();
+    }
+    const std::size_t pos = text.find("\"committed\":");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + 12] = text[pos + 12] == '9' ? '8' : '9';
+    {
+        std::ofstream os(traj, std::ios::binary | std::ios::trunc);
+        os << text;
+    }
+
+    std::ostringstream diag;
+    EXPECT_FALSE(verifyManifest(registry(), ExperimentEngine(2),
+                                manifest, diag));
+    EXPECT_NE(diag.str().find("FAILED"), std::string::npos)
+        << diag.str();
+    EXPECT_NE(diag.str().find("record "), std::string::npos);
+    EXPECT_NE(diag.str().find("1 differing line"),
+              std::string::npos)
+        << diag.str();
+}
+
+TEST(Verify, ConfigDriftFailsBeforeSimulating)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string manifest =
+        archiveSweep(dir, "verify_drift.jsonl");
+
+    // Corrupt the archived config hash: the replay must refuse
+    // without comparing trajectories.
+    std::string text;
+    {
+        std::ifstream is(manifest, std::ios::binary);
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        text = buf.str();
+    }
+    const std::size_t pos = text.find("\"config_hash\": \"");
+    ASSERT_NE(pos, std::string::npos);
+    const std::size_t digit = pos + std::strlen("\"config_hash\": \"");
+    text[digit] = text[digit] == 'f' ? '0' : 'f';
+    {
+        std::ofstream os(manifest, std::ios::binary | std::ios::trunc);
+        os << text;
+    }
+
+    std::ostringstream diag;
+    EXPECT_FALSE(verifyManifest(registry(), ExperimentEngine(2),
+                                manifest, diag));
+    EXPECT_NE(diag.str().find("config hash mismatch"),
+              std::string::npos)
+        << diag.str();
+}
+
+TEST(Verify, MissingTrajectoryOrUnknownScenarioFailCleanly)
+{
+    const std::string dir = ::testing::TempDir();
+
+    // Manifest whose trajectory file does not exist.
+    SweepOptions opts;
+    opts.instructions = 1500;
+    const std::string noTraj = dir + "verify_notraj.manifest";
+    writeManifestFile(noTraj, opts, "calendar", "does_not_exist.jsonl",
+                      {{"quickstart", 2, 1, 0}});
+    std::ostringstream diag1;
+    EXPECT_FALSE(verifyManifest(registry(), ExperimentEngine(1),
+                                noTraj, diag1));
+
+    // Manifest naming a scenario this binary does not register.
+    const std::string traj = dir + "verify_unknown.jsonl";
+    {
+        TrajectorySink sink(traj);
+        sink.close();
+    }
+    const std::string unknown = dir + "verify_unknown.manifest";
+    writeManifestFile(unknown, opts, "calendar",
+                      "verify_unknown.jsonl",
+                      {{"no-such-scenario", 2, 1, 0}});
+    std::ostringstream diag2;
+    EXPECT_FALSE(verifyManifest(registry(), ExperimentEngine(1),
+                                unknown, diag2));
+    EXPECT_NE(diag2.str().find("unknown scenario"),
+              std::string::npos)
+        << diag2.str();
 }
 
 TEST(PairHelpers, AppendPairConvention)
