@@ -265,6 +265,23 @@ fileListValue(const char *flag, int argc, char **argv, int &i,
     }
 }
 
+/** Strict engine-name parser: unknown values are a usage error with a
+ *  clear message, for the flag and the environment variable alike
+ *  (gals_fatal would abort with an internal file/line trace). */
+QueueEngine
+engineValue(const char *source, const char *name)
+{
+    if (!std::strcmp(name, "calendar"))
+        return QueueEngine::calendar;
+    if (!std::strcmp(name, "heap"))
+        return QueueEngine::heap;
+    std::fprintf(stderr,
+                 "galsbench: %s expects 'calendar' or 'heap', got '%s'\n",
+                 source, name);
+    usage(stderr, 2);
+    return QueueEngine::calendar; // unreachable
+}
+
 } // namespace
 
 int
@@ -275,7 +292,7 @@ main(int argc, char **argv)
 
     SweepOptions opts = SweepOptions::fromEnvironment();
     if (const char *env = std::getenv("GALSSIM_ENGINE"))
-        EventQueue::setDefaultEngine(parseQueueEngine(env));
+        EventQueue::setDefaultEngine(engineValue("GALSSIM_ENGINE", env));
     std::vector<std::string> selected, cliBenchmarks;
     std::vector<std::string> mergeFiles, mergeManifestFiles;
     std::string outputPath, manifestPath, verifyPath;
@@ -347,7 +364,7 @@ main(int argc, char **argv)
             manifestPath = argValue(argc, argv, i);
         } else if (!std::strcmp(arg, "--engine")) {
             EventQueue::setDefaultEngine(
-                parseQueueEngine(argValue(argc, argv, i)));
+                engineValue("--engine", argValue(argc, argv, i)));
             sweepFlags.push_back("--engine");
         } else if (!std::strcmp(arg, "--help") ||
                    !std::strcmp(arg, "-h")) {

@@ -163,6 +163,92 @@ BM_ClockDomainTick(benchmark::State &state)
 }
 BENCHMARK(BM_ClockDomainTick)->Arg(0)->Arg(1);
 
+/** Counter ticker for the devirtualized dispatch path. */
+class CountTicker final : public ClockDomain::Ticker
+{
+  public:
+    void tick() override { ++count; }
+    std::uint64_t count = 0;
+};
+
+/**
+ * Typed ticker dispatch: eight Ticker subclass nodes per edge — one
+ * virtual call each, no std::function hop. Compare against
+ * BM_TickerDispatchFunction for the devirtualization delta.
+ */
+void
+BM_TickerDispatchTyped(benchmark::State &state)
+{
+    EventQueue eq("bench", engineArg(state));
+    ClockDomain cd(eq, "clk", 1000);
+    CountTicker tickers[8];
+    for (auto &t : tickers)
+        cd.addTicker(t);
+    cd.start();
+    Tick until = 0;
+    for (auto _ : state) {
+        until += 1000 * 1000; // 1000 cycles x 8 tickers
+        eq.runUntil(until);
+    }
+    benchmark::DoNotOptimize(tickers[0].count);
+    setEngineLabel(state);
+    state.SetItemsProcessed(state.iterations() * 1000 * 8);
+}
+BENCHMARK(BM_TickerDispatchTyped)->Arg(0)->Arg(1);
+
+/**
+ * The same edge walk through the std::function adapter
+ * (FunctionTicker), i.e. the pre-devirtualization dispatch cost.
+ */
+void
+BM_TickerDispatchFunction(benchmark::State &state)
+{
+    EventQueue eq("bench", engineArg(state));
+    ClockDomain cd(eq, "clk", 1000);
+    std::uint64_t count = 0;
+    for (int i = 0; i < 8; ++i)
+        cd.addTicker([&count] { ++count; });
+    cd.start();
+    Tick until = 0;
+    for (auto _ : state) {
+        until += 1000 * 1000;
+        eq.runUntil(until);
+    }
+    benchmark::DoNotOptimize(count);
+    setEngineLabel(state);
+    state.SetItemsProcessed(state.iterations() * 1000 * 8);
+}
+BENCHMARK(BM_TickerDispatchFunction)->Arg(0)->Arg(1);
+
+/**
+ * Same-tick edge batching: five domains with identical period and
+ * phase, so every edge is a five-way (tick, priority) tie serviced as
+ * one calendar batch — the GALS worst case for pop pressure and the
+ * shape the batching fast path targets.
+ */
+void
+BM_EdgeBatchChurn(benchmark::State &state)
+{
+    EventQueue eq("bench", engineArg(state));
+    std::vector<std::unique_ptr<ClockDomain>> domains;
+    CountTicker tickers[5];
+    for (int i = 0; i < 5; ++i) {
+        domains.push_back(std::make_unique<ClockDomain>(
+            eq, "clk" + std::to_string(i), 1000));
+        domains[i]->addTicker(tickers[i]);
+        domains[i]->start();
+    }
+    Tick until = 0;
+    for (auto _ : state) {
+        until += 1000 * 1000; // 1000 edges x 5 tied domains
+        eq.runUntil(until);
+    }
+    benchmark::DoNotOptimize(tickers[0].count);
+    setEngineLabel(state);
+    state.SetItemsProcessed(state.iterations() * 1000 * 5);
+}
+BENCHMARK(BM_EdgeBatchChurn)->Arg(0)->Arg(1);
+
 /** Steady-state mixed-clock FIFO traffic between two domains. */
 void
 BM_AsyncFifoTraffic(benchmark::State &state)

@@ -46,6 +46,7 @@
 
 #include "sim/clock_domain.hh"
 #include "sim/event_queue.hh"
+#include "sim/intrusive_list.hh"
 #include "sim/logging.hh"
 #include "sim/ticks.hh"
 
@@ -133,18 +134,16 @@ class Channel : public ChannelBase
                       syncEdges, streaming),
           pool_(std::make_unique<Node[]>(capacity))
     {
-        // Thread every pool node onto the free list (singly linked
-        // through next). full() bounds the occupancy at capacity_, so
-        // the pool can never run dry.
-        for (std::size_t i = 0; i < capacity; ++i) {
-            pool_[i].next = free_;
-            free_ = &pool_[i];
-        }
+        // Thread every pool node onto the free list. full() bounds
+        // the occupancy at capacity_, so the pool can never run dry.
+        for (std::size_t i = 0; i < capacity; ++i)
+            free_.pushFront(&pool_[i]);
     }
 
     ~Channel() override
     {
-        for (Node *n = head_; n != nullptr; n = n->next)
+        for (Node *n = queue_.head(); n != nullptr;
+             n = NodeList::next(n))
             n->destroyItem();
     }
 
@@ -179,12 +178,12 @@ class Channel : public ChannelBase
         // edge after the item ahead of it (one item per cycle
         // throughput), never earlier than the edge after its own push.
         Tick ready;
-        if (head_ == nullptr || !streaming_) {
+        if (queue_.empty() || !streaming_) {
             ready = visibleAt(now);
-            if (tail_ != nullptr)
-                ready = std::max(ready, tail_->readyTick);
+            if (queue_.tail() != nullptr)
+                ready = std::max(ready, queue_.tail()->readyTick);
         } else {
-            ready = std::max(tail_->readyTick,
+            ready = std::max(queue_.tail()->readyTick,
                              consumer_.nextEdgeAfter(now));
         }
 
@@ -192,7 +191,8 @@ class Channel : public ChannelBase
         new (n->storage) T(std::move(item));
         n->pushTick = now;
         n->readyTick = ready;
-        linkBack(n);
+        queue_.pushBack(n);
+        ++size_;
         pruneFrees(now);
     }
 
@@ -200,10 +200,11 @@ class Channel : public ChannelBase
     bool
     empty() const
     {
-        if (head_ == nullptr)
+        const Node *h = queue_.head();
+        if (h == nullptr)
             return true;
         const Tick now = consumer_.eventQueue().now();
-        return head_->readyTick > now;
+        return h->readyTick > now;
     }
 
     /** First visible item; caller must have checked !empty(). */
@@ -211,7 +212,7 @@ class Channel : public ChannelBase
     front()
     {
         gals_assert(!empty(), "front() on empty channel '", name_, "'");
-        return *head_->item();
+        return *queue_.head()->item();
     }
 
     /** Push time of the first visible item (for residency metrics). */
@@ -220,7 +221,7 @@ class Channel : public ChannelBase
     {
         gals_assert(!empty(), "frontPushTick() on empty channel '", name_,
                     "'");
-        return head_->pushTick;
+        return queue_.head()->pushTick;
     }
 
     /** Remove the first visible item. */
@@ -230,11 +231,11 @@ class Channel : public ChannelBase
         gals_assert(!empty(), "pop() on empty channel '", name_, "'");
         const Tick now = consumer_.eventQueue().now();
         ++pops_;
-        totalResidency_ += now - head_->pushTick;
-        Node *n = head_;
-        unlink(n);
+        Node *n = queue_.popFront();
+        --size_;
+        totalResidency_ += now - n->pushTick;
         n->destroyItem();
-        putFree(n);
+        free_.pushFront(n);
         freeVisible_.push_back(freeVisibleAt(now));
     }
 
@@ -253,12 +254,13 @@ class Channel : public ChannelBase
     {
         const Tick now = consumer_.eventQueue().now();
         unsigned removed = 0;
-        for (Node *n = head_; n != nullptr;) {
-            Node *next = n->next;
+        for (Node *n = queue_.head(); n != nullptr;) {
+            Node *next = NodeList::next(n);
             if (pred(*n->item())) {
-                unlink(n);
+                queue_.unlink(n);
+                --size_;
                 n->destroyItem();
-                putFree(n);
+                free_.pushFront(n);
                 freeVisible_.push_back(freeVisibleAt(now));
                 ++removed;
             }
@@ -273,13 +275,10 @@ class Channel : public ChannelBase
     clear()
     {
         squashedItems_ += size_;
-        for (Node *n = head_; n != nullptr;) {
-            Node *next = n->next;
+        while (Node *n = queue_.popFront()) {
             n->destroyItem();
-            putFree(n);
-            n = next;
+            free_.pushFront(n);
         }
-        head_ = tail_ = nullptr;
         size_ = 0;
         freeVisible_.clear();
     }
@@ -293,58 +292,29 @@ class Channel : public ChannelBase
      */
     struct Node
     {
-        Node *prev = nullptr;
-        Node *next = nullptr;
+        IntrusiveLink<Node> link;
         Tick pushTick = 0;
         Tick readyTick = 0;
         alignas(T) unsigned char storage[sizeof(T)];
+
+        IntrusiveLink<Node> &intrusiveLink(DefaultListTag)
+        {
+            return link;
+        }
 
         T *item() { return std::launder(reinterpret_cast<T *>(storage)); }
         void destroyItem() { item()->~T(); }
     };
 
+    using NodeList = IntrusiveList<Node>;
+
     Node *
     takeFree()
     {
-        gals_assert(free_ != nullptr, "channel '", name_,
+        Node *n = free_.popFront();
+        gals_assert(n != nullptr, "channel '", name_,
                     "' entry pool exhausted");
-        Node *n = free_;
-        free_ = n->next;
         return n;
-    }
-
-    void
-    putFree(Node *n)
-    {
-        n->next = free_;
-        free_ = n;
-    }
-
-    void
-    linkBack(Node *n)
-    {
-        n->prev = tail_;
-        n->next = nullptr;
-        if (tail_ != nullptr)
-            tail_->next = n;
-        else
-            head_ = n;
-        tail_ = n;
-        ++size_;
-    }
-
-    void
-    unlink(Node *n)
-    {
-        if (n->prev != nullptr)
-            n->prev->next = n->next;
-        else
-            head_ = n->next;
-        if (n->next != nullptr)
-            n->next->prev = n->prev;
-        else
-            tail_ = n->prev;
-        --size_;
     }
 
     void
@@ -355,9 +325,8 @@ class Channel : public ChannelBase
     }
 
     std::unique_ptr<Node[]> pool_; ///< capacity() nodes, fixed for life
-    Node *free_ = nullptr;         ///< recycled nodes (singly linked)
-    Node *head_ = nullptr;         ///< oldest item
-    Node *tail_ = nullptr;         ///< newest item
+    NodeList free_;                ///< recycled nodes
+    NodeList queue_;               ///< FIFO order, oldest at head
     std::size_t size_ = 0;
 
     /** Pop-time slot releases not yet observed by the producer;

@@ -152,7 +152,7 @@ runOne(const RunConfig &cfg)
     if (cfg.dynamicDvfs) {
         ctrl = std::make_unique<DynamicDvfsController>(eq, pc.tech);
         ctrl->manage(proc.domain(DomainId::fpd),
-                     [&proc] { return proc.fpCluster().issued(); },
+                     proc.fpCluster().issuedCounter(),
                      pc.core.fpIssueWidth);
         ctrl->start();
     }

@@ -181,28 +181,22 @@ Processor::buildStages()
         std::vector<Channel<WakeupMsg> *>{wk(4), wk(5)}, *completeMem_,
         nullptr, storeCommit_.get(), &hier_);
 
-    // Tickers: stage logic first (priority 10), energy close-out last
-    // (priority 90). Domains are started in reverse pipeline order so
-    // that, in the synchronous machine, consumers tick before
-    // producers at equal time.
-    dom(DomainId::intd).addTicker([this] { execInt_->tick(); }, 10);
-    dom(DomainId::fpd).addTicker([this] { execFp_->tick(); }, 10);
-    dom(DomainId::memd).addTicker([this] { execMem_->tick(); }, 10);
-    dom(DomainId::decode).addTicker([this] { decode_->tick(); }, 10);
-    dom(DomainId::fetch).addTicker([this] { fetch_->tick(); }, 10);
-
+    // Stage logic registered itself at priority 10 (each stage is a
+    // ClockDomain::Ticker wired up in its constructor); the energy
+    // close-out runs last (priority 90). Domains are started in
+    // reverse pipeline order so that, in the synchronous machine,
+    // consumers tick before producers at equal time.
     for (unsigned i = 0; i < numDomains; ++i) {
         const auto id = static_cast<DomainId>(i);
-        ClockDomain *cd = domains_[i].get();
-        cd->addTicker(
-            [this, id, cd] { energy_.domainCycle(id, cd->vdd()); }, 90);
+        energyTickers_[i].bind(energy_, id, *domains_[i]);
+        domains_[i]->addTicker(energyTickers_[i], 90);
     }
     if (!cfg_.gals) {
         // The global clock grid switches every cycle of the (single)
         // clock; charge it from the reference domain.
-        ClockDomain *ref = domains_[domainIndex(DomainId::decode)].get();
-        ref->addTicker(
-            [this, ref] { energy_.globalClockCycle(ref->vdd()); }, 91);
+        ClockDomain &ref = dom(DomainId::decode);
+        globalClockTicker_.bind(energy_, ref);
+        ref.addTicker(globalClockTicker_, 91);
     }
 }
 

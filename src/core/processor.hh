@@ -170,6 +170,55 @@ class Processor
     std::unique_ptr<ExecDomain> execFp_;
     std::unique_ptr<ExecDomain> execMem_;
 
+    /** Per-domain energy close-out, run after the stage logic on
+     *  every edge (priority 90). */
+    class DomainEnergyTicker final : public ClockDomain::Ticker
+    {
+      public:
+        void
+        bind(EnergyAccount &energy, DomainId id, ClockDomain &domain)
+        {
+            energy_ = &energy;
+            id_ = id;
+            domain_ = &domain;
+        }
+
+        void tick() override
+        {
+            energy_->domainCycle(id_, domain_->vdd());
+        }
+
+      private:
+        EnergyAccount *energy_ = nullptr;
+        DomainId id_{};
+        ClockDomain *domain_ = nullptr;
+    };
+
+    /** Global clock-grid charge, synchronous machine only: the single
+     *  clock switches every reference-domain cycle (priority 91). */
+    class GlobalClockTicker final : public ClockDomain::Ticker
+    {
+      public:
+        void
+        bind(EnergyAccount &energy, ClockDomain &ref)
+        {
+            energy_ = &energy;
+            ref_ = &ref;
+        }
+
+        void tick() override
+        {
+            energy_->globalClockCycle(ref_->vdd());
+        }
+
+      private:
+        EnergyAccount *energy_ = nullptr;
+        ClockDomain *ref_ = nullptr;
+    };
+
+    DomainEnergyTicker energyTickers_[numDomains];
+    GlobalClockTicker globalClockTicker_;
+
     Tick endTick_ = 0;
     bool energyFinalized_ = false;
     double finalEnergyNj_ = 0.0;

@@ -75,6 +75,9 @@ ExecDomain::ExecDomain(ExecKind kind, const CoreConfig &cfg,
     if (kind_ == ExecKind::intCluster)
         gals_assert(redirectOut_ != nullptr,
                     "int cluster needs the redirect channel");
+    // Stage logic runs at priority 10, ahead of the per-domain energy
+    // close-out ticker (priority 90).
+    domain_.addTicker(*this, 10);
 }
 
 unsigned

@@ -36,9 +36,10 @@ namespace gals
 enum class ExecKind : std::uint8_t { intCluster, fpCluster, memCluster };
 
 /**
- * One execution clock domain.
+ * One execution clock domain. A ClockDomain::Ticker: construction
+ * registers the cluster on its domain's edge walk.
  */
-class ExecDomain
+class ExecDomain : public ClockDomain::Ticker
 {
   public:
     ExecDomain(ExecKind kind, const CoreConfig &cfg, ClockDomain &domain,
@@ -51,7 +52,7 @@ class ExecDomain
                CacheHierarchy *hier);
 
     /** One cycle of this domain. */
-    void tick();
+    void tick() override;
 
     /** Mispredict recovery: flush younger instructions. */
     void squashAfter(InstSeqNum afterSeq);
@@ -60,6 +61,9 @@ class ExecDomain
     /// @{
     double avgQueueOccupancy() const;
     std::uint64_t issued() const { return issued_; }
+    /** Stable address of the issue counter, for samplers (DVFS)
+     *  that read it without a callback indirection. */
+    const std::uint64_t *issuedCounter() const { return &issued_; }
     std::uint64_t completed() const { return completed_; }
     const IssueQueue &queue() const { return iq_; }
     const Lsq *lsq() const

@@ -20,6 +20,9 @@ DecodeCommitUnit::DecodeCommitUnit(
       rob_(cfg.robSize),
       rename_(cfg.numIntPhysRegs, cfg.numFpPhysRegs)
 {
+    // Stage logic runs at priority 10, ahead of the per-domain energy
+    // close-out ticker (priority 90).
+    domain_.addTicker(*this, 10);
 }
 
 Channel<DynInstPtr> &

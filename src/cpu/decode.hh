@@ -37,9 +37,11 @@ struct CommitStats
 };
 
 /**
- * Decode + rename + dispatch + commit (clock domain 2).
+ * Decode + rename + dispatch + commit (clock domain 2). A
+ * ClockDomain::Ticker: construction registers the stage on its
+ * domain's edge walk.
  */
-class DecodeCommitUnit
+class DecodeCommitUnit : public ClockDomain::Ticker
 {
   public:
     DecodeCommitUnit(const CoreConfig &cfg, ClockDomain &domain,
@@ -52,7 +54,7 @@ class DecodeCommitUnit
                      Channel<BpredUpdateMsg> &bpredUpdateOut);
 
     /** One decode-domain cycle. */
-    void tick();
+    void tick() override;
 
     /** Mispredict recovery: flush younger state in this domain. */
     void squashAfter(InstSeqNum afterSeq);

@@ -17,6 +17,9 @@ FetchStage::FetchStage(const CoreConfig &cfg, ClockDomain &domain,
       redirectIn_(redirectIn), bpredUpdateIn_(bpredUpdateIn),
       galsMode_(galsMode), syncEdges_(syncEdges)
 {
+    // Stage logic runs at priority 10, ahead of the per-domain energy
+    // close-out ticker (priority 90).
+    domain_.addTicker(*this, 10);
 }
 
 DynInstPtr

@@ -30,9 +30,10 @@ namespace gals
 {
 
 /**
- * The front end (clock domain 1).
+ * The front end (clock domain 1). A ClockDomain::Ticker: construction
+ * registers the stage on its domain's edge walk.
  */
-class FetchStage
+class FetchStage : public ClockDomain::Ticker
 {
   public:
     FetchStage(const CoreConfig &cfg, ClockDomain &domain,
@@ -43,7 +44,7 @@ class FetchStage
                unsigned syncEdges);
 
     /** One fetch-domain cycle. */
-    void tick();
+    void tick() override;
 
     /** Stop fetching new correct-path work (drain mode). */
     void setFetchLimit(std::uint64_t maxCorrectPath)

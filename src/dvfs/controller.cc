@@ -27,18 +27,19 @@ DynamicDvfsController::~DynamicDvfsController()
 
 void
 DynamicDvfsController::manage(ClockDomain &domain,
-                              std::function<std::uint64_t()> workCounter,
+                              const std::uint64_t *workCounter,
                               double peakPerCycle)
 {
+    gals_assert(workCounter != nullptr, "null work counter");
     gals_assert(peakPerCycle > 0.0, "peak work per cycle must be > 0");
     Managed m;
     m.domain = &domain;
-    m.workCounter = std::move(workCounter);
+    m.workCounter = workCounter;
     m.peakPerCycle = peakPerCycle;
     m.nominalPeriod = domain.period();
-    m.lastWork = m.workCounter();
+    m.lastWork = *workCounter;
     m.lastCycle = domain.cycle();
-    managed_.push_back(std::move(m));
+    managed_.push_back(m);
 }
 
 void
@@ -82,7 +83,7 @@ DynamicDvfsController::sample()
     ++samples_;
 
     for (Managed &m : managed_) {
-        const std::uint64_t work = m.workCounter();
+        const std::uint64_t work = *m.workCounter;
         const Cycle cycle = m.domain->cycle();
         const std::uint64_t d_work = work - m.lastWork;
         const Cycle d_cycle = cycle - m.lastCycle;

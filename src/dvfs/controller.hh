@@ -74,12 +74,13 @@ class DynamicDvfsController
      * Put @p domain under control.
      *
      * @param workCounter monotonically increasing count of useful work
-     *        units (e.g. instructions issued in the domain)
+     *        units (e.g. instructions issued in the domain), read
+     *        directly each sample — no callback indirection. Must stay
+     *        valid while the controller runs.
      * @param peakPerCycle the most work the domain can do per cycle
      *        (its issue width)
      */
-    void manage(ClockDomain &domain,
-                std::function<std::uint64_t()> workCounter,
+    void manage(ClockDomain &domain, const std::uint64_t *workCounter,
                 double peakPerCycle);
 
     /** Begin sampling. */
@@ -101,7 +102,7 @@ class DynamicDvfsController
     struct Managed
     {
         ClockDomain *domain;
-        std::function<std::uint64_t()> workCounter;
+        const std::uint64_t *workCounter;
         double peakPerCycle;
         Tick nominalPeriod;
         unsigned step = 0;

@@ -7,11 +7,16 @@
 namespace gals
 {
 
+ClockDomain::Ticker::~Ticker()
+{
+    if (tickerDomain_ != nullptr)
+        tickerDomain_->unregisterTicker(this);
+}
+
 ClockDomain::ClockDomain(EventQueue &eq, std::string name, Tick period,
                          Tick phase)
     : eq_(eq), name_(std::move(name)), period_(period), phase_(phase),
-      edgeEvent_([this] { edge(); }, period, name_ + ".edge",
-                 Event::clockEdgePri)
+      edgeEvent_(*this, period, name_ + ".edge")
 {
     gals_assert(period > 0, "clock domain '", name_,
                 "' needs a positive period");
@@ -19,44 +24,45 @@ ClockDomain::ClockDomain(EventQueue &eq, std::string name, Tick period,
 
 ClockDomain::~ClockDomain()
 {
-    Ticker *t = tickersHead_;
-    while (t != nullptr) {
-        Ticker *next = t->next_;
-        delete t;
-        t = next;
+    while (Ticker *t = tickers_.popFront()) {
+        t->tickerDomain_ = nullptr;
+        if (t->tickerOwned_)
+            delete t;
     }
 }
 
-ClockDomain::Ticker *
-ClockDomain::addTicker(std::function<void()> fn, int priority)
+void
+ClockDomain::registerTicker(Ticker *t, int priority, bool owned)
 {
-    Ticker *t = new Ticker(std::move(fn), priority);
+    gals_assert(t->tickerDomain_ == nullptr, "clock domain '", name_,
+                "': ticker is already registered");
+    t->tickerDomain_ = this;
+    t->tickerPriority_ = priority;
+    t->tickerOwned_ = owned;
 
     // Insert before the first node with a strictly greater priority,
     // scanning from the tail: equal priorities keep registration
     // order, and typical registration (ascending or uniform priority)
     // appends in O(1).
-    Ticker *pos = tickersTail_;
-    while (pos != nullptr && pos->priority_ > priority)
-        pos = pos->prev_;
+    Ticker *pos = tickers_.tail();
+    while (pos != nullptr && pos->tickerPriority_ > priority)
+        pos = TickerList::prev(pos);
+    tickers_.insertAfter(pos, t);
+}
 
-    t->prev_ = pos;
-    if (pos != nullptr) {
-        t->next_ = pos->next_;
-        if (pos->next_ != nullptr)
-            pos->next_->prev_ = t;
-        else
-            tickersTail_ = t;
-        pos->next_ = t;
-    } else {
-        t->next_ = tickersHead_;
-        if (tickersHead_ != nullptr)
-            tickersHead_->prev_ = t;
-        else
-            tickersTail_ = t;
-        tickersHead_ = t;
-    }
+ClockDomain::Ticker *
+ClockDomain::addTicker(std::function<void()> fn, int priority)
+{
+    Ticker *t = new FunctionTicker(std::move(fn));
+    registerTicker(t, priority, true);
     return t;
+}
+
+void
+ClockDomain::unregisterTicker(Ticker *t)
+{
+    tickers_.unlink(t);
+    t->tickerDomain_ = nullptr;
 }
 
 void
@@ -64,15 +70,19 @@ ClockDomain::removeTicker(Ticker *ticker)
 {
     gals_assert(ticker != nullptr, "clock domain '", name_,
                 "': removeTicker(nullptr)");
-    if (ticker->prev_ != nullptr)
-        ticker->prev_->next_ = ticker->next_;
-    else
-        tickersHead_ = ticker->next_;
-    if (ticker->next_ != nullptr)
-        ticker->next_->prev_ = ticker->prev_;
-    else
-        tickersTail_ = ticker->prev_;
-    delete ticker;
+    gals_assert(ticker->tickerDomain_ == this, "clock domain '", name_,
+                "': ticker is not registered here");
+    if (ticker == current_) {
+        // Called from within the ticker's own tick(): the edge walk
+        // still holds this node, so defer the unlink (and delete, for
+        // owned adapters) until its callback returns.
+        pendingSelfRemove_ = true;
+        return;
+    }
+    const bool owned = ticker->tickerOwned_;
+    unregisterTicker(ticker);
+    if (owned)
+        delete ticker;
 }
 
 void
@@ -140,8 +150,26 @@ ClockDomain::edge()
     seenEdge_ = true;
     ++cycle_;
 
-    for (Ticker *t = tickersHead_; t != nullptr; t = t->next_)
-        t->fn_();
+    // The successor is read *after* tick() so the walk observes
+    // mid-tick insertions after the current node and mid-tick
+    // removals of later nodes; only removal of the node whose tick()
+    // is running is deferred (see removeTicker).
+    Ticker *t = tickers_.head();
+    while (t != nullptr) {
+        current_ = t;
+        pendingSelfRemove_ = false;
+        t->tick();
+        Ticker *next = TickerList::next(t);
+        current_ = nullptr;
+        if (pendingSelfRemove_) {
+            pendingSelfRemove_ = false;
+            const bool owned = t->tickerOwned_;
+            unregisterTicker(t);
+            if (owned)
+                delete t;
+        }
+        t = next;
+    }
 }
 
 } // namespace gals

@@ -3,20 +3,23 @@
  * Clock domains for locally synchronous blocks.
  *
  * A ClockDomain is a periodic event source with a period, a phase
- * offset, and an ordered list of per-edge tick callbacks. The base
- * (fully synchronous) processor binds all pipeline regions to one
- * domain; the GALS processor instantiates five, each with its own
- * period and a random phase, exactly as in section 4.2 of the paper.
+ * offset, and an ordered list of per-edge tickers. The base (fully
+ * synchronous) processor binds all pipeline regions to one domain; the
+ * GALS processor instantiates five, each with its own period and a
+ * random phase, exactly as in section 4.2 of the paper.
  *
  * The period may be changed at run time (the change takes effect after
  * the current edge), which is the mechanism used for dynamic frequency
  * scaling. Each domain also carries a supply voltage so the power model
  * can charge energy at the right Vdd.
  *
- * Tickers are intrusive doubly-linked list nodes kept sorted at
- * insertion (ascending priority, then registration order), so the
- * per-edge hot path is a plain list walk: no deferred sorting, no
- * vector reallocation, and O(1) removal.
+ * Tickers are intrusive list nodes with a virtual tick(): pipeline
+ * stages derive from ClockDomain::Ticker and register themselves, so
+ * the per-edge hot path is a plain list walk with one indirect call per
+ * stage — no std::function hop, no allocation, no deferred sorting.
+ * Lists stay sorted at insertion (ascending priority, then
+ * registration order). A std::function adapter node remains for tests
+ * and examples via the callback addTicker() overload.
  */
 
 #ifndef SIM_CLOCK_DOMAIN_HH
@@ -24,8 +27,10 @@
 
 #include <functional>
 #include <string>
+#include <type_traits>
 
 #include "sim/event_queue.hh"
+#include "sim/intrusive_list.hh"
 #include "sim/ticks.hh"
 
 namespace gals
@@ -38,24 +43,55 @@ class ClockDomain
 {
   public:
     /**
-     * One per-edge callback registration, linked into the domain's
-     * sorted intrusive ticker list. Nodes are owned by the domain;
-     * addTicker() returns a handle usable with removeTicker().
+     * One per-edge registration, linked into the domain's sorted
+     * intrusive ticker list. Pipeline stages derive from this and
+     * override tick(); registration wires the object straight into
+     * the edge walk. A still-registered ticker unregisters itself on
+     * destruction.
      */
     class Ticker
     {
+      public:
+        /** Called once per rising edge of the registered domain. */
+        virtual void tick() = 0;
+
+        Ticker(const Ticker &) = delete;
+        Ticker &operator=(const Ticker &) = delete;
+
+      protected:
+        Ticker() = default;
+        virtual ~Ticker();
+
       private:
         friend class ClockDomain;
+        friend class IntrusiveList<Ticker, DefaultListTag>;
 
-        Ticker(std::function<void()> fn, int priority)
-            : fn_(std::move(fn)), priority_(priority)
+        IntrusiveLink<Ticker> &intrusiveLink(DefaultListTag)
+        {
+            return link_;
+        }
+
+        IntrusiveLink<Ticker> link_;
+        ClockDomain *tickerDomain_ = nullptr;
+        int tickerPriority_ = 0;
+        /** Heap-allocated adapter owned (and deleted) by the domain. */
+        bool tickerOwned_ = false;
+    };
+
+    /** Owned adapter wrapping a callback in a Ticker node; kept for
+     *  tests and examples — stages should derive from Ticker. */
+    class FunctionTicker final : public Ticker
+    {
+      public:
+        explicit FunctionTicker(std::function<void()> fn)
+            : fn_(std::move(fn))
         {
         }
 
+        void tick() override { fn_(); }
+
+      private:
         std::function<void()> fn_;
-        int priority_;
-        Ticker *prev_ = nullptr;
-        Ticker *next_ = nullptr;
     };
 
     /**
@@ -72,14 +108,32 @@ class ClockDomain
     ClockDomain &operator=(const ClockDomain &) = delete;
 
     /**
-     * Register a callback run on every rising edge. Callbacks run in
-     * ascending @p priority, then registration order.
+     * Register a Ticker subclass object, run on every rising edge in
+     * ascending @p priority then registration order. The domain does
+     * not take ownership; the object must outlive its registration
+     * (or rely on the Ticker destructor's self-unregistration).
+     * @return the registration handle (== &ticker).
+     */
+    template <typename T>
+    std::enable_if_t<std::is_base_of_v<Ticker, T>, Ticker *>
+    addTicker(T &ticker, int priority = 50)
+    {
+        registerTicker(&ticker, priority, false);
+        return &ticker;
+    }
+
+    /**
+     * Register a callback through an owned FunctionTicker adapter.
      * @return a handle for removeTicker(); may be ignored.
      */
     Ticker *addTicker(std::function<void()> fn, int priority = 50);
 
-    /** Unregister and destroy a ticker; O(1). Must not be called from
-     *  within that ticker's own callback. */
+    /**
+     * Unregister a ticker; O(1). Owned adapter nodes are destroyed.
+     * Safe to call from within the running ticker's own tick(): the
+     * unlink is deferred until that tick() returns (removing a
+     * *different* ticker mid-edge takes effect immediately).
+     */
     void removeTicker(Ticker *ticker);
 
     /** Begin ticking: schedules the first edge at the phase offset. */
@@ -133,6 +187,28 @@ class ClockDomain
     EventQueue &eventQueue() { return eq_; }
 
   private:
+    /** The domain edge as a typed periodic event: one virtual
+     *  process() straight into edge(), no std::function hop. */
+    class EdgeEvent final : public PeriodicEvent
+    {
+      public:
+        EdgeEvent(ClockDomain &domain, Tick period, std::string name)
+            : PeriodicEvent(period, std::move(name),
+                            Event::clockEdgePri),
+              domain_(domain)
+        {
+        }
+
+        void process() override { domain_.edge(); }
+
+      private:
+        ClockDomain &domain_;
+    };
+
+    using TickerList = IntrusiveList<Ticker>;
+
+    void registerTicker(Ticker *t, int priority, bool owned);
+    void unregisterTicker(Ticker *t);
     void edge();
 
     EventQueue &eq_;
@@ -146,11 +222,16 @@ class ClockDomain
     double vdd_ = 1.5;
 
     /** Sorted intrusive ticker list (ascending priority, then
-     *  registration order); nodes owned by this domain. */
-    Ticker *tickersHead_ = nullptr;
-    Ticker *tickersTail_ = nullptr;
+     *  registration order). */
+    TickerList tickers_;
 
-    PeriodicEvent edgeEvent_;
+    /** Ticker whose tick() is currently executing, if any. */
+    Ticker *current_ = nullptr;
+    /** The current ticker asked to remove itself; honoured by the
+     *  edge walk once its tick() returns. */
+    bool pendingSelfRemove_ = false;
+
+    EdgeEvent edgeEvent_;
 };
 
 } // namespace gals

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -45,6 +46,11 @@ Event::Event(std::string name, int priority)
 {
 }
 
+Event::Event(std::string name, int priority, bool periodic)
+    : name_(std::move(name)), priority_(priority), periodic_(periodic)
+{
+}
+
 Event::~Event()
 {
     if (scheduled())
@@ -65,7 +71,15 @@ CallbackEvent::process()
 
 PeriodicEvent::PeriodicEvent(std::function<void()> fn, Tick period,
                              std::string name, int priority)
-    : Event(std::move(name), priority), fn_(std::move(fn)), period_(period)
+    : Event(std::move(name), priority, true), fn_(std::move(fn)),
+      period_(period)
+{
+    gals_assert(period > 0, "periodic event '", this->name(),
+                "' needs a positive period");
+}
+
+PeriodicEvent::PeriodicEvent(Tick period, std::string name, int priority)
+    : Event(std::move(name), priority, true), period_(period)
 {
     gals_assert(period > 0, "periodic event '", this->name(),
                 "' needs a positive period");
@@ -82,9 +96,10 @@ PeriodicEvent::period(Tick p)
 void
 PeriodicEvent::process()
 {
-    // Rescheduling of the next occurrence is handled by
-    // EventQueue::serviceOne after this returns, so the callback may
-    // freely change the period or cancel the repeat.
+    // Rescheduling of the next occurrence is handled by the queue
+    // after this returns, so the callback may freely change the
+    // period or cancel the repeat. Typed subclasses override
+    // process() and never touch fn_.
     fn_();
 }
 
@@ -104,7 +119,7 @@ EventQueue::EventQueue(std::string name, QueueEngine engine)
     : name_(std::move(name)), engine_(engine)
 {
     if (engine_ == QueueEngine::calendar)
-        buckets_.resize(calInitialBuckets);
+        buckets_ = std::vector<Bucket>(calInitialBuckets);
 }
 
 EventQueue::~EventQueue()
@@ -116,7 +131,8 @@ EventQueue::~EventQueue()
             ev->queue_ = nullptr;
     } else {
         for (Bucket &b : buckets_)
-            for (Event *ev = b.head; ev != nullptr; ev = ev->calNext_)
+            for (Event *ev = b.head(); ev != nullptr;
+                 ev = Bucket::next(ev))
                 ev->queue_ = nullptr;
     }
 }
@@ -140,6 +156,23 @@ EventQueue::schedule(Event *ev, Tick when)
     calInsert(ev);
     if (size_ > calGrowPerBucket * buckets_.size())
         calResize(buckets_.size() * 2);
+}
+
+void
+EventQueue::schedulePeriodicRepeat(PeriodicEvent *ev)
+{
+    // The pop that just delivered this event vacated its slot, so
+    // size_ returns to a level the previous grow check admitted —
+    // skip the asserts (trivially true here) and the grow check.
+    ev->when_ = now_ + ev->period();
+    ev->seq_ = nextSeq_++;
+    ev->queue_ = this;
+    ++size_;
+    if (engine_ == QueueEngine::heap) {
+        set_.insert(ev);
+        return;
+    }
+    calInsert(ev);
 }
 
 void
@@ -180,50 +213,41 @@ EventQueue::calInsert(Event *ev)
     // Keep the bucket sorted by (when, priority, seq). Scan from the
     // tail: clock-edge traffic inserts mostly at or near the end (new
     // events carry the largest seq, and times move forward).
-    Event *pos = b.tail;
+    Event *pos = b.tail();
     const Less less;
     while (pos != nullptr && less(ev, pos))
-        pos = pos->calPrev_;
-
-    ev->calPrev_ = pos;
-    if (pos != nullptr) {
-        ev->calNext_ = pos->calNext_;
-        if (pos->calNext_ != nullptr)
-            pos->calNext_->calPrev_ = ev;
-        else
-            b.tail = ev;
-        pos->calNext_ = ev;
-    } else {
-        ev->calNext_ = b.head;
-        if (b.head != nullptr)
-            b.head->calPrev_ = ev;
-        else
-            b.tail = ev;
-        b.head = ev;
-    }
+        pos = Bucket::prev(pos);
+    b.insertAfter(pos, ev);
 
     // A known minimum stays valid; it only changes if the new event
-    // is cheaper. An unknown (nullptr) cache stays unknown.
-    if (minCache_ != nullptr && less(ev, minCache_))
+    // is cheaper. An unknown (nullptr) cache stays unknown — except
+    // for a sole occupant, which is trivially the minimum (the case a
+    // lone periodic clock hits on every reinsert).
+    if (minCache_ != nullptr) {
+        if (less(ev, minCache_))
+            minCache_ = ev;
+    } else if (size_ == 1) {
         minCache_ = ev;
+    }
 }
 
 void
 EventQueue::calRemove(Event *ev)
 {
-    Bucket &b = buckets_[ev->bucket_];
-    if (ev->calPrev_ != nullptr)
-        ev->calPrev_->calNext_ = ev->calNext_;
-    else
-        b.head = ev->calNext_;
-    if (ev->calNext_ != nullptr)
-        ev->calNext_->calPrev_ = ev->calPrev_;
-    else
-        b.tail = ev->calPrev_;
-    ev->calPrev_ = nullptr;
-    ev->calNext_ = nullptr;
-    if (minCache_ == ev)
-        minCache_ = nullptr;
+    // Repair the min cache before the links go away: events with
+    // equal when() always share a bucket and buckets are sorted, so
+    // when the minimum is removed and its successor carries the same
+    // time, that successor is the new global minimum — the case that
+    // makes same-tick batches O(1) per pop. A successor at a later
+    // time proves nothing (another bucket may hold an earlier year),
+    // so the cache falls back to "unknown".
+    if (minCache_ == ev) {
+        Event *succ = Bucket::next(ev);
+        minCache_ =
+            (succ != nullptr && succ->when_ == ev->when_) ? succ
+                                                          : nullptr;
+    }
+    buckets_[ev->bucket_].unlink(ev);
 }
 
 Event *
@@ -240,10 +264,10 @@ EventQueue::calFindMin() const
     // heads are bucket minima, and events with equal when() always
     // share a bucket, so the first hit is the global minimum.
     const std::size_t n = buckets_.size();
-    const std::uint64_t vstart = now_ / width_;
+    const std::uint64_t vstart = now_ >> widthLog2_;
     for (std::size_t k = 0; k < n; ++k) {
-        Event *h = buckets_[(vstart + k) & (n - 1)].head;
-        if (h != nullptr && h->when_ / width_ == vstart + k) {
+        Event *h = buckets_[(vstart + k) & (n - 1)].head();
+        if (h != nullptr && (h->when_ >> widthLog2_) == vstart + k) {
             minCache_ = h;
             return h;
         }
@@ -254,9 +278,9 @@ EventQueue::calFindMin() const
     // tie on when(), so comparing times alone is deterministic.
     Event *best = nullptr;
     for (const Bucket &b : buckets_)
-        if (b.head != nullptr &&
-            (best == nullptr || b.head->when_ < best->when_))
-            best = b.head;
+        if (b.head() != nullptr &&
+            (best == nullptr || b.head()->when_ < best->when_))
+            best = b.head();
     minCache_ = best;
     return best;
 }
@@ -266,36 +290,31 @@ EventQueue::calResize(std::size_t newBuckets)
 {
     // Unlink every event into one chain, then re-insert under the new
     // geometry. Pointers stay valid, so the min cache survives.
-    Event *all = nullptr;
+    Bucket all;
     Tick minWhen = maxTick;
     Tick maxWhen = 0;
     for (Bucket &b : buckets_) {
-        Event *ev = b.head;
-        while (ev != nullptr) {
-            Event *next = ev->calNext_;
-            ev->calNext_ = all;
-            all = ev;
+        for (Event *ev = b.head(); ev != nullptr; ev = Bucket::next(ev)) {
             minWhen = std::min(minWhen, ev->when_);
             maxWhen = std::max(maxWhen, ev->when_);
-            ev = next;
         }
-        b.head = nullptr;
-        b.tail = nullptr;
+        all.splice(b);
     }
 
-    buckets_.assign(newBuckets, Bucket{});
+    buckets_ = std::vector<Bucket>(newBuckets);
 
-    // New width: the average inter-event gap (span / population),
-    // clamped to >= 1 tick, targeting ~1 event per bucket-year.
-    if (size_ > 1 && maxWhen > minWhen)
-        width_ = std::max<Tick>(1, (maxWhen - minWhen) / size_);
+    // New width: the average inter-event gap (span / population)
+    // rounded down to a power of two >= 1 tick, targeting ~1 event
+    // per bucket-year while keeping the bucket index a shift+mask.
+    if (size_ > 1 && maxWhen > minWhen) {
+        const Tick gap =
+            std::max<Tick>(1, (maxWhen - minWhen) / size_);
+        widthLog2_ = std::bit_width(gap) - 1;
+    }
 
     Event *saveMin = minCache_;
-    while (all != nullptr) {
-        Event *next = all->calNext_;
-        calInsert(all);
-        all = next;
-    }
+    while (Event *ev = all.popFront())
+        calInsert(ev);
     minCache_ = saveMin;
 }
 
@@ -307,34 +326,53 @@ EventQueue::calMaybeShrink()
         calResize(n / 2);
 }
 
-Event *
-EventQueue::popMin()
+void
+EventQueue::removeMin(Event *ev)
 {
-    if (size_ == 0)
-        return nullptr;
-    Event *ev;
-    if (engine_ == QueueEngine::heap) {
-        auto it = set_.begin();
-        ev = *it;
-        set_.erase(it);
-    } else {
-        ev = calFindMin();
+    if (engine_ == QueueEngine::heap)
+        set_.erase(set_.begin());
+    else
         calRemove(ev);
-    }
     --size_;
     if (engine_ == QueueEngine::calendar)
         calMaybeShrink();
+}
+
+Event *
+EventQueue::popMin()
+{
+    Event *ev = peekMin();
+    if (ev != nullptr)
+        removeMin(ev);
     return ev;
 }
 
 Tick
 EventQueue::nextEventTime() const
 {
-    if (size_ == 0)
-        return maxTick;
-    if (engine_ == QueueEngine::heap)
-        return (*set_.begin())->when_;
-    return calFindMin()->when_;
+    const Event *ev = peekMin();
+    return ev != nullptr ? ev->when_ : maxTick;
+}
+
+void
+EventQueue::serviceEvent(Event *ev)
+{
+    gals_assert(ev->when_ >= now_, "event queue went backwards");
+    now_ = ev->when_;
+    ev->queue_ = nullptr;
+    ++processed_;
+
+    // Periodic events reschedule themselves after their callback,
+    // unless the callback rescheduled them explicitly or cancelled
+    // the repeat. The flag was latched at construction, so no RTTI
+    // probe sits on the dispatch path.
+    const bool periodic = ev->periodic_;
+    ev->process();
+    if (periodic && !ev->scheduled()) {
+        auto *per = static_cast<PeriodicEvent *>(ev);
+        if (per->repeatingNow())
+            schedulePeriodicRepeat(per);
+    }
 }
 
 bool
@@ -343,33 +381,41 @@ EventQueue::serviceOne()
     Event *ev = popMin();
     if (ev == nullptr)
         return false;
-
-    gals_assert(ev->when() >= now_, "event queue went backwards");
-    now_ = ev->when();
-    ev->queue_ = nullptr;
-    ++processed_;
-
-    // Periodic events reschedule themselves after their callback,
-    // unless the callback rescheduled them explicitly or cancelled the
-    // repeat.
-    auto *per = dynamic_cast<PeriodicEvent *>(ev);
-    ev->process();
-    if (per != nullptr && !per->scheduled()) {
-        // cancelRepeat() may have been invoked from within process().
-        if (per->repeatingNow())
-            schedule(per, now_ + per->period());
-    }
+    serviceEvent(ev);
     return true;
+}
+
+std::uint64_t
+EventQueue::serviceBatch(Event *first)
+{
+    // Drain the whole (when, priority) tie in one pop run: the min
+    // cache is repaired in O(1) while same-tick successors remain
+    // (see calRemove), so only the final pop of a batch pays a wheel
+    // scan. Events scheduled by a callback at the same (when,
+    // priority) carry larger seqs, sort behind the pending tie, and
+    // are picked up by this same loop — element-wise identical to
+    // servicing one event at a time.
+    const Tick when = first->when_;
+    const int pri = first->priority_;
+    Event *ev = first;
+    std::uint64_t n = 0;
+    do {
+        removeMin(ev);
+        serviceEvent(ev);
+        ++n;
+        ev = peekMin();
+    } while (ev != nullptr && ev->when_ == when &&
+             ev->priority_ == pri);
+    return n;
 }
 
 std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t n = 0;
-    while (size_ != 0 && nextEventTime() <= until) {
-        serviceOne();
-        ++n;
-    }
+    for (Event *ev = peekMin();
+         ev != nullptr && ev->when_ <= until; ev = peekMin())
+        n += serviceBatch(ev);
     if (now_ < until)
         now_ = until;
     return n;
@@ -379,8 +425,8 @@ std::uint64_t
 EventQueue::runAll()
 {
     std::uint64_t n = 0;
-    while (serviceOne())
-        ++n;
+    for (Event *ev = peekMin(); ev != nullptr; ev = peekMin())
+        n += serviceBatch(ev);
     return n;
 }
 

@@ -10,6 +10,16 @@
  * simulated together, which is what makes multi-clock-domain (GALS)
  * simulation possible.
  *
+ * The dispatch path is typed and allocation-free: process() is the
+ * only indirect call per event (no std::function hop, no dynamic_cast
+ * probing — periodic events carry a flag set at construction), and
+ * runUntil()/runAll() service whole ties in one batch: when the
+ * cheapest event is popped, every event sharing its (time, priority)
+ * is drained from the same position before the scan for the next
+ * minimum restarts. Periodic repeats re-enter the calendar through a
+ * fast reinsert that skips the scheduling asserts and the grow check
+ * (the pop that delivered the event just vacated the slot).
+ *
  * Two interchangeable scheduling backends implement the same ordering
  * contract (see QueueEngine):
  *
@@ -26,7 +36,8 @@
  *
  * Both engines pop events in exactly the same (time, priority,
  * insertion-seq) order, so simulations are bit-identical under either;
- * tests/test_calendar_queue.cc pins that equivalence.
+ * tests/test_calendar_queue.cc pins that equivalence (including the
+ * batched drain paths).
  */
 
 #ifndef SIM_EVENT_QUEUE_HH
@@ -38,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/intrusive_list.hh"
 #include "sim/ticks.hh"
 
 namespace gals
@@ -65,6 +77,11 @@ QueueEngine parseQueueEngine(const std::string &name);
 /** Human-readable engine name ("calendar" / "heap"). */
 const char *queueEngineName(QueueEngine engine);
 
+/** Tag for the calendar-bucket list an Event is linked into. */
+struct EventBucketTag
+{
+};
+
 /**
  * An occurrence scheduled on an EventQueue.
  *
@@ -73,8 +90,8 @@ const char *queueEngineName(QueueEngine engine);
  * scheduled at most once at a time.
  *
  * The calendar engine links scheduled events into its buckets through
- * the embedded calPrev_/calNext_ pointers, so scheduling an event
- * never allocates memory.
+ * an embedded IntrusiveLink, so scheduling an event never allocates
+ * memory.
  */
 class Event
 {
@@ -107,11 +124,25 @@ class Event
 
     const std::string &name() const { return name_; }
 
+  protected:
+    /** Subclass constructor tagging the event as periodic, so the
+     *  queue reschedules it after process() without RTTI probing.
+     *  Only PeriodicEvent may set this. */
+    Event(std::string name, int priority, bool periodic);
+
   private:
     friend class EventQueue;
+    friend class IntrusiveList<Event, EventBucketTag>;
+
+    IntrusiveLink<Event, EventBucketTag> &
+    intrusiveLink(EventBucketTag)
+    {
+        return calLink_;
+    }
 
     std::string name_;
     int priority_;
+    bool periodic_ = false;     ///< reschedule after process()
     Tick when_ = 0;
     std::uint64_t seq_ = 0;     ///< insertion order tie-break
     EventQueue *queue_ = nullptr;
@@ -119,8 +150,7 @@ class Event
     /** @name Intrusive calendar-bucket links
      * Valid only while scheduled on a calendar-engine queue. */
     /// @{
-    Event *calPrev_ = nullptr;
-    Event *calNext_ = nullptr;
+    IntrusiveLink<Event, EventBucketTag> calLink_;
     std::size_t bucket_ = 0;    ///< owning bucket index
     /// @}
 };
@@ -144,6 +174,10 @@ class CallbackEvent : public Event
  * the paper's engine does for clocked systems. The period may be
  * changed from within process(); the new value applies to the next
  * rescheduling, which models dynamic frequency scaling.
+ *
+ * Hot-path subclasses (e.g. a clock domain's edge event) use the
+ * protected constructor and override process() directly — one virtual
+ * call per occurrence, no std::function.
  */
 class PeriodicEvent : public Event
 {
@@ -163,6 +197,10 @@ class PeriodicEvent : public Event
 
     /** Whether the event currently wants to repeat. */
     bool repeatingNow() const { return repeating_; }
+
+  protected:
+    /** For typed subclasses that override process() themselves. */
+    PeriodicEvent(Tick period, std::string name, int priority);
 
   private:
     std::function<void()> fn_;
@@ -192,14 +230,15 @@ class EventQueue
      * calInitialBuckets); the factor-4 gap between the two thresholds
      * is the hysteresis that prevents resize thrash. On every resize
      * the bucket width is re-derived as the pending events' time span
-     * divided by their count (the average inter-event gap), clamped
-     * to >= 1 tick, which keeps roughly one event per bucket-year.
-     * Bucket counts stay powers of two so the bucket index is a mask,
-     * not a modulo.
+     * divided by their count (the average inter-event gap), rounded to
+     * the nearest power of two >= 1 tick, which keeps roughly one
+     * event per bucket-year. Bucket counts and widths stay powers of
+     * two so both the bucket index and the year number are shifts and
+     * masks, not divisions.
      */
     /// @{
     static constexpr std::size_t calInitialBuckets = 8;
-    static constexpr Tick calInitialWidth = 1024;
+    static constexpr unsigned calInitialWidthLog2 = 10; ///< 1024 ticks
     /** Grow when size() > calGrowPerBucket * bucket count. */
     static constexpr std::size_t calGrowPerBucket = 2;
     /** Shrink when size() < bucket count / calShrinkDivisor. */
@@ -255,6 +294,8 @@ class EventQueue
     /**
      * Run until simulated time would exceed @p until or the queue
      * drains. Events scheduled exactly at @p until are executed.
+     * Ties are drained batch-wise: one pop services every event at
+     * the same (time, priority), in insertion order.
      * @return number of events processed.
      */
     std::uint64_t runUntil(Tick until);
@@ -269,7 +310,7 @@ class EventQueue
     std::size_t calendarBuckets() const { return buckets_.size(); }
 
     /** Current bucket width in ticks (calendar engine only). */
-    Tick calendarBucketWidth() const { return width_; }
+    Tick calendarBucketWidth() const { return Tick(1) << widthLog2_; }
 
     const std::string &name() const { return name_; }
 
@@ -289,15 +330,11 @@ class EventQueue
     };
 
     /** One wheel slot: a (when, priority, seq)-sorted intrusive list. */
-    struct Bucket
-    {
-        Event *head = nullptr;
-        Event *tail = nullptr;
-    };
+    using Bucket = IntrusiveList<Event, EventBucketTag>;
 
     std::size_t bucketIndex(Tick when) const
     {
-        return static_cast<std::size_t>(when / width_) &
+        return static_cast<std::size_t>(when >> widthLog2_) &
                (buckets_.size() - 1);
     }
 
@@ -308,8 +345,33 @@ class EventQueue
     void calResize(std::size_t newBuckets);
     void calMaybeShrink();
 
+    /** Cheapest pending event without detaching it; nullptr if none.
+     *  Inline: with a warm min cache this is three loads, and it runs
+     *  once per pop plus once per batch continuation. */
+    Event *
+    peekMin() const
+    {
+        if (size_ == 0)
+            return nullptr;
+        if (engine_ == QueueEngine::heap)
+            return *set_.begin();
+        if (minCache_ != nullptr)
+            return minCache_;
+        return calFindMin();
+    }
     /** Detach the cheapest pending event, nullptr when empty. */
     Event *popMin();
+    /** Detach @p ev, already known to be the cheapest pending event. */
+    void removeMin(Event *ev);
+    /** Advance the timer to @p ev and fire it (periodic repeat incl.). */
+    void serviceEvent(Event *ev);
+    /** Service @p first plus every event tied with it at
+     *  (when, priority); @return number serviced. */
+    std::uint64_t serviceBatch(Event *first);
+    /** Re-queue a just-fired periodic event at now() + period():
+     *  same effect as schedule(), minus the scheduling asserts and
+     *  the grow check (the preceding pop vacated the slot). */
+    void schedulePeriodicRepeat(PeriodicEvent *ev);
 
     std::string name_;
     QueueEngine engine_;
@@ -324,7 +386,7 @@ class EventQueue
     /** @name calendar engine state */
     /// @{
     std::vector<Bucket> buckets_;
-    Tick width_ = calInitialWidth;
+    unsigned widthLog2_ = calInitialWidthLog2;
     /** Cached minimum; nullptr means "unknown", recomputed lazily.
      *  When non-null it always points at the true minimum. */
     mutable Event *minCache_ = nullptr;

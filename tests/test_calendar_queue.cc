@@ -17,6 +17,7 @@
 #include <tuple>
 #include <vector>
 
+#include "sim/clock_domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 
@@ -164,6 +165,94 @@ TEST(EngineEquivalence, PeriodicClockTrafficIdentical)
     const PopLog cal = run(QueueEngine::calendar);
     const PopLog heap = run(QueueEngine::heap);
     ASSERT_GT(cal.size(), 1000u);
+    EXPECT_EQ(cal, heap);
+}
+
+TEST(EngineEquivalence, SameTickBatchDrainIdentical)
+{
+    // Edge batching: five equal-period, equal-phase periodic events at
+    // the clock-edge priority all tie at every edge, so the calendar
+    // services each edge's run in one pop. Order within a batch must
+    // remain (priority, seq) — identical to the heap — and events
+    // scheduled *during* a batch at the same (when, priority) must be
+    // drained by that same batch, in insertion order.
+    auto run = [](QueueEngine engine) {
+        EventQueue eq("batch", engine);
+        PopLog log;
+        std::vector<std::unique_ptr<PeriodicEvent>> clocks;
+        std::vector<std::unique_ptr<CallbackEvent>> echoes;
+        for (int i = 0; i < 5; ++i) {
+            echoes.push_back(std::make_unique<CallbackEvent>(
+                [&log, &eq, i] { log.emplace_back(100 + i, eq.now()); },
+                "echo" + std::to_string(i), Event::clockEdgePri));
+            CallbackEvent *echo = echoes.back().get();
+            clocks.push_back(std::make_unique<PeriodicEvent>(
+                [&log, &eq, i, echo] {
+                    log.emplace_back(i, eq.now());
+                    // Same (when, priority) as the batch being
+                    // drained: must fire within this batch, after
+                    // the pending tie (larger seq).
+                    if (i == 2 && !echo->scheduled())
+                        eq.schedule(echo, eq.now());
+                },
+                1000, "clk" + std::to_string(i), Event::clockEdgePri));
+        }
+        for (auto &c : clocks)
+            eq.schedule(c.get(), 0);
+        eq.runUntil(20000);
+        for (auto &c : clocks)
+            c->cancelRepeat();
+        eq.runAll();
+        return log;
+    };
+
+    const PopLog cal = run(QueueEngine::calendar);
+    const PopLog heap = run(QueueEngine::heap);
+    ASSERT_GT(cal.size(), 100u);
+    EXPECT_EQ(cal, heap);
+
+    // Shape check on one edge: the five clocks in registration order,
+    // then the echo scheduled mid-batch.
+    PopLog first(cal.begin(), cal.begin() + 6);
+    const PopLog expect = {{0, 0}, {1, 0}, {2, 0},
+                           {3, 0}, {4, 0}, {102, 0}};
+    EXPECT_EQ(first, expect);
+}
+
+TEST(EngineEquivalence, MidTickTickerChurnIdentical)
+{
+    // Mid-tick add/remove of tickers on clock domains driven by both
+    // engines: the observable tick log must be engine-independent.
+    auto run = [](QueueEngine engine) {
+        EventQueue eq("tickers", engine);
+        ClockDomain a(eq, "a", 700);
+        ClockDomain b(eq, "b", 1100, 300);
+        std::vector<std::pair<int, Tick>> log;
+        ClockDomain::Ticker *victim = nullptr;
+        int edges = 0;
+        a.addTicker([&] {
+            log.emplace_back(1, eq.now());
+            ++edges;
+            if (edges == 3)
+                victim = a.addTicker(
+                    [&] { log.emplace_back(2, eq.now()); }, 60);
+            if (edges == 6 && victim != nullptr) {
+                a.removeTicker(victim);
+                victim = nullptr;
+            }
+        });
+        b.addTicker([&] { log.emplace_back(3, eq.now()); });
+        a.start();
+        b.start();
+        eq.runUntil(15000);
+        a.stop();
+        b.stop();
+        return log;
+    };
+
+    const auto cal = run(QueueEngine::calendar);
+    const auto heap = run(QueueEngine::heap);
+    ASSERT_GT(cal.size(), 30u);
     EXPECT_EQ(cal, heap);
 }
 

@@ -245,3 +245,162 @@ TEST(ClockDomain, TickerPriorityAndRegistrationOrder)
     eq.runUntil(0);
     EXPECT_EQ(log, "01239");
 }
+
+namespace
+{
+
+/** Typed ticker for the devirtualized registration path. */
+struct CountingTicker : ClockDomain::Ticker
+{
+    std::string &log;
+    char tag;
+
+    CountingTicker(std::string &l, char t) : log(l), tag(t) {}
+    void tick() override { log += tag; }
+};
+
+} // namespace
+
+TEST(ClockDomain, TypedTickerRegistration)
+{
+    // A Ticker subclass registers by reference and interleaves with
+    // function tickers under the same priority rules.
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 100);
+    std::string log;
+    CountingTicker a(log, 'a');
+    CountingTicker c(log, 'c');
+    cd.addTicker(a, 10);
+    cd.addTicker([&] { log += 'b'; }, 20);
+    cd.addTicker(c, 30);
+    cd.start();
+    eq.runUntil(100);
+    EXPECT_EQ(log, "abcabc");
+}
+
+TEST(ClockDomain, TypedTickerUnregistersOnDestruction)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 100);
+    std::string log;
+    CountingTicker a(log, 'a');
+    cd.addTicker(a, 10);
+    {
+        CountingTicker b(log, 'b');
+        cd.addTicker(b, 20);
+        cd.start();
+        eq.runUntil(0);
+        EXPECT_EQ(log, "ab");
+    }
+    // b went out of scope while registered: it must have unlinked
+    // itself, leaving the walk intact.
+    log.clear();
+    eq.runUntil(100);
+    EXPECT_EQ(log, "a");
+}
+
+TEST(ClockDomain, RemoveSelfFromOwnCallback)
+{
+    // Regression: removeTicker() from within the running ticker's own
+    // callback used to be documented UB; it is now a deferred unlink.
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 100);
+    std::string log;
+    ClockDomain::Ticker *b = nullptr;
+    cd.addTicker([&] { log += 'a'; }, 10);
+    b = cd.addTicker(
+        [&] {
+            log += 'b';
+            cd.removeTicker(b); // self-removal mid-tick
+        },
+        20);
+    cd.addTicker([&] { log += 'c'; }, 30);
+    cd.start();
+
+    // Edge 0: b still runs (and asks to go), and the walk continues
+    // to c afterwards.
+    eq.runUntil(0);
+    EXPECT_EQ(log, "abc");
+
+    // Edge 1: b is gone.
+    log.clear();
+    eq.runUntil(100);
+    EXPECT_EQ(log, "ac");
+}
+
+TEST(ClockDomain, RemoveSoleTickerFromOwnCallback)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 100);
+    int ticks = 0;
+    ClockDomain::Ticker *t = nullptr;
+    t = cd.addTicker([&] {
+        ++ticks;
+        cd.removeTicker(t);
+    });
+    cd.start();
+    eq.runUntil(300);
+    EXPECT_EQ(ticks, 1);
+
+    // The list is empty and usable again.
+    cd.addTicker([&] { ticks += 10; });
+    eq.runUntil(400);
+    EXPECT_EQ(ticks, 11);
+}
+
+TEST(ClockDomain, RemoveNextTickerMidEdge)
+{
+    // Removing a *different*, not-yet-run ticker from a callback takes
+    // effect immediately: the walk must not visit the freed node.
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 100);
+    std::string log;
+    ClockDomain::Ticker *c = nullptr;
+    cd.addTicker(
+        [&] {
+            log += 'a';
+            if (c != nullptr) {
+                // Victim is later in this same edge's walk.
+                cd.removeTicker(c);
+                c = nullptr;
+            }
+        },
+        10);
+    c = cd.addTicker([&] { log += 'c'; }, 20);
+    cd.addTicker([&] { log += 'd'; }, 30);
+    cd.start();
+    eq.runUntil(0);
+    EXPECT_EQ(log, "ad");
+
+    log.clear();
+    eq.runUntil(100);
+    EXPECT_EQ(log, "ad"); // removal is permanent
+}
+
+TEST(ClockDomain, MidTickAddRunsSameEdgeWhenLater)
+{
+    // A ticker added during an edge at a priority after the current
+    // one is visited on that same edge (successor is read after the
+    // callback), matching the historical semantics.
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 100);
+    std::string log;
+    bool added = false;
+    cd.addTicker(
+        [&] {
+            log += 'a';
+            if (!added) {
+                added = true;
+                cd.addTicker([&] { log += 'n'; }, 50);
+            }
+        },
+        10);
+    cd.addTicker([&] { log += 'z'; }, 90);
+    cd.start();
+    eq.runUntil(0);
+    EXPECT_EQ(log, "anz");
+
+    log.clear();
+    eq.runUntil(100);
+    EXPECT_EQ(log, "anz");
+}

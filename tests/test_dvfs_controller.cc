@@ -46,7 +46,7 @@ TEST(DvfsController, IdleDomainStepsDown)
     DynamicDvfsConfig cfg;
     cfg.samplePeriod = 100 * 1000;
     DynamicDvfsController ctrl(f.eq, defaultTech(), cfg);
-    ctrl.manage(f.domain, [&f] { return f.work; }, 1.0);
+    ctrl.manage(f.domain, &f.work, 1.0);
     f.domain.start();
     ctrl.start();
     f.eq.runUntil(1000 * 1000);
@@ -62,7 +62,7 @@ TEST(DvfsController, BusyDomainStaysNominal)
     DynamicDvfsConfig cfg;
     cfg.samplePeriod = 100 * 1000;
     DynamicDvfsController ctrl(f.eq, defaultTech(), cfg);
-    ctrl.manage(f.domain, [&f] { return f.work; }, 1.0);
+    ctrl.manage(f.domain, &f.work, 1.0);
     f.domain.start();
     ctrl.start();
     f.eq.runUntil(1000 * 1000);
@@ -77,7 +77,7 @@ TEST(DvfsController, UtilizationMeasured)
     DynamicDvfsConfig cfg;
     cfg.samplePeriod = 200 * 1000;
     DynamicDvfsController ctrl(f.eq, defaultTech(), cfg);
-    ctrl.manage(f.domain, [&f] { return f.work; }, 1.0);
+    ctrl.manage(f.domain, &f.work, 1.0);
     f.domain.start();
     ctrl.start();
     f.eq.runUntil(600 * 1000);
@@ -94,7 +94,7 @@ TEST(DvfsController, RecoversWhenLoadReturns)
     DynamicDvfsConfig cfg;
     cfg.samplePeriod = 100 * 1000;
     DynamicDvfsController ctrl(f.eq, defaultTech(), cfg);
-    ctrl.manage(f.domain, [&f] { return f.work; }, 1.0);
+    ctrl.manage(f.domain, &f.work, 1.0);
     f.domain.start();
     ctrl.start();
     f.eq.runUntil(600 * 1000);
@@ -113,7 +113,7 @@ TEST(DvfsController, StopFreezesSettings)
     DynamicDvfsConfig cfg;
     cfg.samplePeriod = 100 * 1000;
     DynamicDvfsController ctrl(f.eq, defaultTech(), cfg);
-    ctrl.manage(f.domain, [&f] { return f.work; }, 1.0);
+    ctrl.manage(f.domain, &f.work, 1.0);
     f.domain.start();
     ctrl.start();
     f.eq.runUntil(250 * 1000);
@@ -134,7 +134,7 @@ TEST(DvfsController, EndToEndIdleFpSlowsOnIntegerCode)
 
     DynamicDvfsController ctrl(eq, pc.tech);
     ctrl.manage(proc.domain(DomainId::fpd),
-                [&proc] { return proc.fpCluster().issued(); },
+                proc.fpCluster().issuedCounter(),
                 pc.core.fpIssueWidth);
     ctrl.start();
     proc.run(10000);
@@ -155,7 +155,7 @@ TEST(DvfsController, EndToEndBusyFpStaysFastOnFpCode)
 
     DynamicDvfsController ctrl(eq, pc.tech);
     ctrl.manage(proc.domain(DomainId::fpd),
-                [&proc] { return proc.fpCluster().issued(); },
+                proc.fpCluster().issuedCounter(),
                 pc.core.fpIssueWidth);
     ctrl.start();
     proc.run(10000);

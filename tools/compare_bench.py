@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON result files by median time.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json
+
+Both files are expected to come from
+
+  galsmicro --benchmark_repetitions=5 \
+            --benchmark_report_aggregates_only=true \
+            --benchmark_format=json --benchmark_out=...
+
+Prints a per-benchmark table of median real time (baseline vs current,
+with the speedup factor) plus benchmarks that appear on only one side,
+so the CI perf-trajectory step can surface deltas between consecutive
+runs. Comparison output is informational: the exit code is 0 whenever
+both inputs parse, regardless of regressions (gating perf on shared CI
+runners would be noise-bound; the numbers are for humans reading the
+log).
+"""
+
+import json
+import sys
+
+
+def medians(path):
+    """name -> (real_time, time_unit) for every *_median aggregate."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("aggregate_name") != "median":
+            continue
+        name = b["name"]
+        if name.endswith("_median"):
+            name = name[: -len("_median")]
+        out[name] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    try:
+        base = medians(argv[1])
+        cur = medians(argv[2])
+    except (OSError, ValueError, KeyError) as e:
+        print(f"compare_bench: cannot read inputs: {e}", file=sys.stderr)
+        return 1
+
+    if not base or not cur:
+        print("compare_bench: no median aggregates found "
+              "(need --benchmark_repetitions with aggregates)",
+              file=sys.stderr)
+        return 1
+
+    shared = [n for n in cur if n in base]
+    width = max((len(n) for n in shared), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}"
+          f"  {'speedup':>8}")
+    for name in shared:
+        old, unit = base[name]
+        new, _ = cur[name]
+        speedup = old / new if new > 0 else float("inf")
+        marker = ""
+        if speedup >= 1.05:
+            marker = "  faster"
+        elif speedup <= 0.95:
+            marker = "  SLOWER"
+        print(f"{name:<{width}}  {old:>10.0f}{unit:>2}  "
+              f"{new:>10.0f}{unit:>2}  {speedup:>7.2f}x{marker}")
+
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:<{width}}  {'-':>12}  "
+              f"{cur[name][0]:>10.0f}{cur[name][1]:>2}  (new)")
+    for name in sorted(set(base) - set(cur)):
+        print(f"{name:<{width}}  {base[name][0]:>10.0f}"
+              f"{base[name][1]:>2}  {'-':>12}  (removed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
