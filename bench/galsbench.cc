@@ -37,26 +37,40 @@
  *   galsbench --merge SHARD.jsonl... --output PATH
  *             [--merge-manifest SHARD.json... --manifest PATH]
  *   galsbench --verify MANIFEST [--jobs N]
+ *   galsbench dispatch --scenario NAME... --output PATH [...]
+ *
+ * `dispatch` is the crash-safe orchestration of a whole sweep: it
+ * shards the grid, drives `galsbench --shard` worker subprocesses
+ * with retry/backoff and straggler kills, streams records with
+ * per-record flushing, and resumes an interrupted dispatch from the
+ * surviving records (docs/ORCHESTRATION.md).
  *
  * Environment: GALSSIM_INSTS, GALSSIM_BENCH and GALSSIM_ENGINE provide
  * defaults for --insts / --bench / --engine (the first two are the
  * knobs the old drivers honoured).
  */
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench/register_all.hh"
 #include "runner/engine.hh"
+#include "runner/fault.hh"
 #include "runner/merge.hh"
+#include "runner/orchestrator.hh"
 #include "runner/reporter.hh"
 #include "runner/scenario.hh"
 #include "runner/stats.hh"
@@ -86,6 +100,19 @@ usage(std::FILE *to, int exitCode)
         "                 [--merge-manifest SHARD... --manifest "
         "PATH]\n"
         "       galsbench --verify MANIFEST [--jobs N]\n"
+        "       galsbench dispatch (--scenario NAME)... | --all\n"
+        "                 --output PATH [--manifest PATH]\n"
+        "                 [--slices M] [--workers W] [--worker-jobs "
+        "N]\n"
+        "                 [--insts N] [--bench NAME] [--seed N]\n"
+        "                 [--seeds N | --seed-list a,b,c] [--engine "
+        "E]\n"
+        "                 [--retries N] [--backoff-ms N]\n"
+        "                 [--backoff-cap-ms N] [--straggler-factor "
+        "X]\n"
+        "                 [--min-deadline-ms N]\n"
+        "                 [--status-interval-ms N] [--fresh]\n"
+        "                 [--worker-binary PATH]\n"
         "\n"
         "  --list          list registered scenarios and exit\n"
         "                  (--format md emits the markdown catalog\n"
@@ -125,7 +152,17 @@ usage(std::FILE *to, int exitCode)
         "                  difference\n"
         "  --engine E      event-queue engine: calendar (default) or\n"
         "                  heap (A/B baseline; or GALSSIM_ENGINE).\n"
-        "                  Results are identical for either.\n");
+        "                  Results are identical for either.\n"
+        "\n"
+        "dispatch runs the whole sweep as a crash-safe orchestration:\n"
+        "the grid is split into M slices, worker subprocesses execute\n"
+        "them (up to W at a time) with per-record flushing, failed\n"
+        "workers are retried with capped exponential backoff, hung\n"
+        "workers are killed past a deadline scaled from the median\n"
+        "slice time, and re-running the same dispatch resumes from\n"
+        "whatever records already survived (kill -9 loses at most one\n"
+        "record). Progress: <output>.dispatch/status.json. See\n"
+        "docs/ORCHESTRATION.md.\n");
     std::exit(exitCode);
 }
 
@@ -282,6 +319,235 @@ engineValue(const char *source, const char *name)
     return QueueEngine::calendar; // unreachable
 }
 
+/** Parse a positive decimal double (for --straggler-factor). */
+double
+doubleValue(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE || v <= 0.0) {
+        std::fprintf(stderr,
+                     "galsbench: %s expects a positive number, got "
+                     "'%s'\n",
+                     flag, text);
+        usage(stderr, 2);
+    }
+    return v;
+}
+
+/** This binary's own path, for dispatch workers to exec. */
+std::string
+selfExePath()
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    return buf;
+}
+
+/**
+ * `galsbench dispatch ...`: the crash-safe sweep orchestrator
+ * (runner/orchestrator.hh). argv[1] is "dispatch"; everything after
+ * it is parsed here — the run-mode flags keep their meaning, plus
+ * the orchestration knobs.
+ */
+int
+dispatchMain(int argc, char **argv, const ScenarioRegistry &registry)
+{
+    DispatchOptions opts;
+    opts.sweep = SweepOptions::fromEnvironment();
+    opts.engineName = queueEngineName(EventQueue::defaultEngine());
+    opts.workerBinary = selfExePath();
+    bool runAll = false;
+    std::vector<std::string> cliBenchmarks;
+
+    for (int i = 2; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--scenario")) {
+            opts.scenarios.push_back(argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--all")) {
+            runAll = true;
+        } else if (!std::strcmp(arg, "--output")) {
+            opts.outputPath = argValue(argc, argv, i);
+        } else if (!std::strcmp(arg, "--manifest")) {
+            opts.manifestPath = argValue(argc, argv, i);
+        } else if (!std::strcmp(arg, "--slices")) {
+            opts.slices =
+                unsignedValue("--slices", argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--workers")) {
+            opts.workers =
+                unsignedValue("--workers", argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--worker-jobs")) {
+            opts.workerJobs = unsignedValue("--worker-jobs",
+                                            argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--insts")) {
+            opts.sweep.instructions =
+                numericValue("--insts", argValue(argc, argv, i));
+            if (opts.sweep.instructions == 0) {
+                std::fprintf(stderr,
+                             "galsbench: --insts must be > 0\n");
+                return 2;
+            }
+        } else if (!std::strcmp(arg, "--bench")) {
+            cliBenchmarks.push_back(argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--seed")) {
+            opts.sweep.seed =
+                numericValue("--seed", argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--seeds")) {
+            opts.sweep.seedReplicas =
+                unsignedValue("--seeds", argValue(argc, argv, i));
+            if (opts.sweep.seedReplicas == 0) {
+                std::fprintf(stderr,
+                             "galsbench: --seeds must be > 0\n");
+                return 2;
+            }
+        } else if (!std::strcmp(arg, "--seed-list")) {
+            opts.sweep.explicitSeeds =
+                seedListValue(argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--engine")) {
+            opts.engineName = queueEngineName(engineValue(
+                "--engine", argValue(argc, argv, i)));
+        } else if (!std::strcmp(arg, "--retries")) {
+            // N retries = N+1 attempts per slice.
+            opts.policy.maxAttempts =
+                unsignedValue("--retries", argValue(argc, argv, i)) +
+                1;
+        } else if (!std::strcmp(arg, "--backoff-ms")) {
+            opts.policy.backoffBaseMs = numericValue(
+                "--backoff-ms", argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--backoff-cap-ms")) {
+            opts.policy.backoffCapMs = numericValue(
+                "--backoff-cap-ms", argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--straggler-factor")) {
+            opts.policy.stragglerFactor = doubleValue(
+                "--straggler-factor", argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--min-deadline-ms")) {
+            opts.policy.minDeadlineMs = numericValue(
+                "--min-deadline-ms", argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--status-interval-ms")) {
+            opts.statusIntervalMs = numericValue(
+                "--status-interval-ms", argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--fresh")) {
+            opts.fresh = true;
+        } else if (!std::strcmp(arg, "--worker-binary")) {
+            opts.workerBinary = argValue(argc, argv, i);
+        } else if (!std::strcmp(arg, "--worker-arg")) {
+            // TEST-ONLY: forwarded verbatim to every worker launch.
+            opts.workerArgs.push_back(argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--fault-first-attempt")) {
+            // TEST-ONLY: I:SPEC injects SPEC (exit-after=K /
+            // hang-after=K) into slice I's first attempt only, so
+            // the retry runs clean.
+            const std::string v = argValue(argc, argv, i);
+            const std::size_t colon = v.find(':');
+            FaultPlan plan;
+            std::string ferr;
+            if (colon == std::string::npos ||
+                !parseFaultSpec(v.substr(colon + 1), plan, ferr)) {
+                std::fprintf(stderr,
+                             "galsbench: --fault-first-attempt "
+                             "expects SLICE:exit-after=K or "
+                             "SLICE:hang-after=K, got '%s'\n",
+                             v.c_str());
+                return 2;
+            }
+            const unsigned slice = unsignedValue(
+                "--fault-first-attempt",
+                v.substr(0, colon).c_str());
+            std::vector<std::string> &args =
+                opts.firstAttemptArgs[slice];
+            if (plan.exitAfter != FaultPlan::disabled) {
+                args.push_back("--fault-exit-after");
+                args.push_back(std::to_string(plan.exitAfter));
+            }
+            if (plan.hangAfter != FaultPlan::disabled) {
+                args.push_back("--fault-hang-after");
+                args.push_back(std::to_string(plan.hangAfter));
+            }
+        } else if (!std::strcmp(arg, "--help") ||
+                   !std::strcmp(arg, "-h")) {
+            usage(stdout, 0);
+        } else {
+            std::fprintf(stderr,
+                         "galsbench: unknown dispatch argument "
+                         "'%s'\n",
+                         arg);
+            usage(stderr, 2);
+        }
+    }
+
+    if (!cliBenchmarks.empty())
+        opts.sweep.benchmarks = std::move(cliBenchmarks);
+    if (runAll) {
+        opts.scenarios.clear();
+        for (const Scenario &s : registry.all())
+            opts.scenarios.push_back(s.name);
+    }
+    if (opts.scenarios.empty()) {
+        std::fprintf(stderr,
+                     "galsbench: dispatch needs --scenario/--all\n");
+        return 2;
+    }
+    if (opts.outputPath.empty()) {
+        std::fprintf(stderr,
+                     "galsbench: dispatch needs --output PATH for "
+                     "the merged trajectory\n");
+        return 2;
+    }
+    if (opts.workerBinary.empty()) {
+        std::fprintf(stderr,
+                     "galsbench: cannot resolve own binary path; "
+                     "pass --worker-binary PATH\n");
+        return 2;
+    }
+
+    DispatchReport report;
+    return runDispatch(registry, opts, std::cerr, &report) ? 0 : 1;
+}
+
+/**
+ * Run one scenario's shard slice with per-record streaming: every
+ * finished run is appended and flushed in canonical slice order the
+ * moment it and all its predecessors are done, so a crash at any
+ * instant loses at most the record being written. @p skip positions
+ * (already on disk from a previous attempt) are neither re-simulated
+ * nor re-written. faultTick() after each flush is where the injected
+ * test faults fire.
+ */
+void
+runSliceStreamed(const ExperimentEngine &engine, TrajectorySink &sink,
+                 const std::string &scenario,
+                 const std::vector<RunConfig> &shardRuns,
+                 const std::vector<std::size_t> &indices,
+                 std::size_t skip)
+{
+    const std::size_t n = shardRuns.size();
+    if (skip >= n)
+        return;
+    std::vector<RunResults> results(n);
+    std::vector<char> ready(n, 0);
+    std::mutex mu;
+    std::size_t next = skip;
+    engine.runIndexed(n - skip, [&](std::size_t t) {
+        const std::size_t j = skip + t;
+        RunResults r = runOne(shardRuns[j]);
+        const std::lock_guard<std::mutex> lock(mu);
+        results[j] = std::move(r);
+        ready[j] = 1;
+        // Ordered flush window: drain the contiguous ready prefix.
+        while (next < n && ready[next]) {
+            sink.appendOne(scenario, shardRuns[next], results[next],
+                           indices[next]);
+            faultTick();
+            ++next;
+        }
+    });
+}
+
 } // namespace
 
 int
@@ -293,11 +559,29 @@ main(int argc, char **argv)
     SweepOptions opts = SweepOptions::fromEnvironment();
     if (const char *env = std::getenv("GALSSIM_ENGINE"))
         EventQueue::setDefaultEngine(engineValue("GALSSIM_ENGINE", env));
+    // TEST-ONLY (docs/ORCHESTRATION.md): deterministic worker fault
+    // injection for the orchestrator's crash-safety tests.
+    if (const char *env = std::getenv("GALSSIM_FAULT")) {
+        FaultPlan plan;
+        std::string ferr;
+        if (!parseFaultSpec(env, plan, ferr)) {
+            std::fprintf(stderr, "galsbench: GALSSIM_FAULT: %s\n",
+                         ferr.c_str());
+            return 2;
+        }
+        setFaultPlan(plan);
+    }
+
+    if (argc >= 2 && !std::strcmp(argv[1], "dispatch"))
+        return dispatchMain(argc, argv, registry);
+
     std::vector<std::string> selected, cliBenchmarks;
     std::vector<std::string> mergeFiles, mergeManifestFiles;
     std::string outputPath, manifestPath, verifyPath;
     bool listOnly = false, runAll = false, jobsFlag = false;
     unsigned jobs = 1;
+    std::uint64_t resumeSkip = 0;
+    FaultPlan cliFault;
     OutputFormat format = OutputFormat::table;
     // Sweep-shaping flags that --merge/--verify must reject rather
     // than silently ignore (--verify replays exactly what the
@@ -366,6 +650,24 @@ main(int argc, char **argv)
             EventQueue::setDefaultEngine(
                 engineValue("--engine", argValue(argc, argv, i)));
             sweepFlags.push_back("--engine");
+        } else if (!std::strcmp(arg, "--resume-skip")) {
+            // Hidden worker flag (galsbench dispatch relaunches):
+            // the first N slice records are already on disk — append
+            // to --output instead of truncating it, and neither
+            // re-simulate nor re-write those positions.
+            resumeSkip = numericValue("--resume-skip",
+                                      argValue(argc, argv, i));
+            sweepFlags.push_back("--resume-skip");
+        } else if (!std::strcmp(arg, "--fault-exit-after")) {
+            // Hidden TEST-ONLY flags (docs/ORCHESTRATION.md): die or
+            // hang after N flushed records.
+            cliFault.exitAfter = numericValue(
+                "--fault-exit-after", argValue(argc, argv, i));
+            sweepFlags.push_back("--fault-exit-after");
+        } else if (!std::strcmp(arg, "--fault-hang-after")) {
+            cliFault.hangAfter = numericValue(
+                "--fault-hang-after", argValue(argc, argv, i));
+            sweepFlags.push_back("--fault-hang-after");
         } else if (!std::strcmp(arg, "--help") ||
                    !std::strcmp(arg, "-h")) {
             usage(stdout, 0);
@@ -379,6 +681,18 @@ main(int argc, char **argv)
     // Explicit --bench flags override the GALSSIM_BENCH default.
     if (!cliBenchmarks.empty())
         opts.benchmarks = std::move(cliBenchmarks);
+
+    if (cliFault.active())
+        setFaultPlan(cliFault);
+    if (resumeSkip > 0 &&
+        (!opts.shard.active() || outputPath.empty() ||
+         trajectoryFormatForPath(outputPath) !=
+             TrajectoryFormat::jsonLines)) {
+        std::fprintf(stderr,
+                     "galsbench: --resume-skip only applies to a "
+                     "--shard run with a JSON-lines --output\n");
+        return 2;
+    }
 
     const bool mergeMode =
         !mergeFiles.empty() || !mergeManifestFiles.empty();
@@ -554,10 +868,16 @@ main(int argc, char **argv)
 
     std::unique_ptr<TrajectorySink> sink;
     if (!outputPath.empty())
-        sink = std::make_unique<TrajectorySink>(outputPath);
+        sink = std::make_unique<TrajectorySink>(outputPath,
+                                                resumeSkip > 0);
     std::vector<ManifestScenario> manifestScenarios;
 
+    // Covers exit-after=0 / hang-after=0: the fault fires before the
+    // first record of the sweep.
+    faultPoint();
+
     const std::size_t replicas = opts.seedList().size();
+    std::uint64_t skipLeft = resumeSkip;
     const ExperimentEngine engine(jobs);
     for (const Scenario *scenario : scenarios) {
         std::size_t gridSize = 0;
@@ -581,10 +901,22 @@ main(int argc, char **argv)
             const std::vector<RunConfig> shardRuns =
                 selectRuns(runs, indices);
             if (sink) {
-                const std::vector<RunResults> results =
-                    engine.run(shardRuns);
-                sink->append(scenario->name, shardRuns, results,
-                             &indices);
+                if (sink->format() == TrajectoryFormat::jsonLines) {
+                    // Stream + flush record by record: this is what
+                    // lets `galsbench dispatch` lose at most one
+                    // record to a killed worker.
+                    const std::size_t skip =
+                        std::min<std::uint64_t>(skipLeft,
+                                                shardRuns.size());
+                    skipLeft -= skip;
+                    runSliceStreamed(engine, *sink, scenario->name,
+                                     shardRuns, indices, skip);
+                } else {
+                    const std::vector<RunResults> results =
+                        engine.run(shardRuns);
+                    sink->append(scenario->name, shardRuns, results,
+                                 &indices);
+                }
                 std::fprintf(stderr,
                              "galsbench: %s: shard %u/%u ran %zu of "
                              "%zu runs\n",

@@ -1,0 +1,120 @@
+#include "runner/fault.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include <unistd.h>
+
+namespace gals::runner
+{
+
+namespace
+{
+
+FaultPlan g_plan;
+std::atomic<std::uint64_t> g_flushed{0};
+
+[[noreturn]] void
+faultExit(std::uint64_t flushed)
+{
+    // Mimic an abrupt crash: no destructors, no buffered-stream
+    // flushes — exactly what the orchestrator's resume scan has to
+    // tolerate. The one fprintf keeps worker logs debuggable.
+    std::fprintf(stderr,
+                 "galsbench: fault injection: exiting after %llu "
+                 "records\n",
+                 static_cast<unsigned long long>(flushed));
+    ::_exit(faultExitCode);
+}
+
+[[noreturn]] void
+faultHang(std::uint64_t flushed)
+{
+    std::fprintf(stderr,
+                 "galsbench: fault injection: hanging after %llu "
+                 "records\n",
+                 static_cast<unsigned long long>(flushed));
+    for (;;)
+        ::sleep(3600);
+}
+
+void
+maybeTrigger(std::uint64_t flushed)
+{
+    if (flushed == g_plan.exitAfter)
+        faultExit(flushed);
+    if (flushed == g_plan.hangAfter)
+        faultHang(flushed);
+}
+
+} // namespace
+
+void
+setFaultPlan(const FaultPlan &plan)
+{
+    g_plan = plan;
+}
+
+const FaultPlan &
+faultPlan()
+{
+    return g_plan;
+}
+
+bool
+parseFaultSpec(const std::string &spec, FaultPlan &plan,
+               std::string &err)
+{
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos) {
+        err = "fault spec '" + spec +
+              "' lacks '=' (expected exit-after=K or hang-after=K)";
+        return false;
+    }
+    const std::string key = spec.substr(0, eq);
+    const std::string val = spec.substr(eq + 1);
+    if (val.empty() ||
+        val.find_first_not_of("0123456789") != std::string::npos) {
+        err = "fault spec '" + spec +
+              "' needs a non-negative decimal count";
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t k = std::strtoull(val.c_str(), &end, 10);
+    if (errno == ERANGE || *end != '\0' || k == FaultPlan::disabled) {
+        err = "fault spec '" + spec + "' count out of range";
+        return false;
+    }
+    if (key == "exit-after") {
+        plan.exitAfter = k;
+    } else if (key == "hang-after") {
+        plan.hangAfter = k;
+    } else {
+        err = "unknown fault kind '" + key +
+              "' (expected exit-after or hang-after)";
+        return false;
+    }
+    return true;
+}
+
+void
+faultPoint()
+{
+    if (!g_plan.active())
+        return;
+    maybeTrigger(g_flushed.load(std::memory_order_relaxed));
+}
+
+void
+faultTick()
+{
+    if (!g_plan.active())
+        return;
+    maybeTrigger(g_flushed.fetch_add(1, std::memory_order_relaxed) +
+                 1);
+}
+
+} // namespace gals::runner

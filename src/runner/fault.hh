@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic fault injection for orchestrator workers —
+ * TEST-ONLY machinery.
+ *
+ * The dispatch orchestrator (runner/orchestrator.hh) has to survive
+ * workers that crash or hang mid-slice, and those failure paths must
+ * be *deterministically* testable: "kill a random worker and hope"
+ * is not a regression test. A worker launched with the hidden
+ * `--fault-exit-after K` / `--fault-hang-after K` flags (or the
+ * `GALSSIM_FAULT=exit-after=K` / `hang-after=K` environment
+ * variable) counts the trajectory records it has flushed and, once K
+ * of them are on disk, either dies abruptly (`_exit`, like a
+ * SIGKILL'd process: no destructors, no stream flushes) or stalls
+ * forever (exercising the orchestrator's straggler deadline).
+ * K = 0 faults at sweep start, before the first record.
+ *
+ * The plan is process-global and disabled by default; nothing in a
+ * normal run ever consults it beyond one integer comparison per
+ * flushed record.
+ */
+
+#ifndef RUNNER_FAULT_HH
+#define RUNNER_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gals::runner
+{
+
+/** An injected worker fault: trigger after this many flushed
+ *  trajectory records. disabled = never. */
+struct FaultPlan
+{
+    static constexpr std::uint64_t disabled = ~std::uint64_t(0);
+
+    std::uint64_t exitAfter = disabled; ///< _exit(galsFaultExitCode)
+    std::uint64_t hangAfter = disabled; ///< sleep forever
+
+    bool active() const
+    {
+        return exitAfter != disabled || hangAfter != disabled;
+    }
+};
+
+/** The exit code an injected `exit-after` fault dies with, so tests
+ *  and the orchestrator can tell it from a real failure if they care
+ *  to (they treat both identically: retry). */
+constexpr int faultExitCode = 70;
+
+/** Install @p plan for this process (workers call this from their
+ *  CLI/environment parsing, before any record is written). */
+void setFaultPlan(const FaultPlan &plan);
+
+/** The currently installed plan. */
+const FaultPlan &faultPlan();
+
+/**
+ * Parse a `GALSSIM_FAULT` spec: `exit-after=K` or `hang-after=K`
+ * (decimal, >= 0) into @p plan.
+ * @return false with @p err set on anything else.
+ */
+bool parseFaultSpec(const std::string &spec, FaultPlan &plan,
+                    std::string &err);
+
+/**
+ * Fault checkpoint: trigger the installed plan if the number of
+ * records flushed so far equals its threshold. Workers call this
+ * once at sweep start (covers K = 0) — that is faultPoint() — and
+ * faultTick() after every flushed record (increments the count, then
+ * checks). No-ops when no plan is active.
+ */
+void faultPoint();
+void faultTick();
+
+} // namespace gals::runner
+
+#endif // RUNNER_FAULT_HH

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "runner/atomic_file.hh"
 #include "runner/engine.hh"
 #include "runner/json.hh"
 #include "runner/scenario.hh"
@@ -710,24 +711,17 @@ mergeManifests(const std::vector<std::string> &shardFiles,
     SweepOptions opts = first.opts;
     opts.shard = ShardSpec(); // the merged manifest is unsharded
     // Not writeManifestFile(): an unwritable path must report back,
-    // not gals_fatal the process (the no-die contract above).
-    std::ofstream os(manifestPath, std::ios::out | std::ios::trunc |
-                                       std::ios::binary);
-    if (!os) {
-        diag << "merge-manifest: cannot open '" << manifestPath
-             << "' for writing\n";
-        return false;
-    }
+    // not gals_fatal the process (the no-die contract above). The
+    // temp-file + rename keeps the same guarantee that policy used
+    // to hand-roll: no canonical-looking partial artifact is ever
+    // left behind, and a previously merged manifest survives a
+    // failed re-merge intact.
+    std::ostringstream os;
     writeManifest(os, opts, first.engineName, outputPath,
                   first.scenarios);
-    os.flush();
-    if (!os) {
-        // Same policy as the trajectory merge: no canonical-looking
-        // partial artifact left behind.
-        os.close();
-        std::remove(manifestPath.c_str());
-        diag << "merge-manifest: error writing '" << manifestPath
-             << "' (partial file removed)\n";
+    std::string werr;
+    if (!atomicWriteFile(manifestPath, os.str(), werr)) {
+        diag << "merge-manifest: " << werr << "\n";
         return false;
     }
     diag << "merge-manifest: " << count << " shard manifests -> '"

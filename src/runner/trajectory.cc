@@ -2,7 +2,9 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <sstream>
 
+#include "runner/atomic_file.hh"
 #include "runner/reporter.hh"
 #include "runner/scenario.hh"
 #include "sim/logging.hh"
@@ -38,11 +40,17 @@ trajectoryFormatName(TrajectoryFormat format)
     return format == TrajectoryFormat::csv ? "csv" : "jsonl";
 }
 
-TrajectorySink::TrajectorySink(const std::string &path)
+TrajectorySink::TrajectorySink(const std::string &path,
+                               bool appendMode)
     : path_(path), format_(trajectoryFormatForPath(path)),
-      file_(path, std::ios::out | std::ios::trunc | std::ios::binary),
+      file_(path, std::ios::out | std::ios::binary |
+                      (appendMode ? std::ios::app
+                                  : std::ios::trunc)),
       os_(&file_)
 {
+    if (appendMode && format_ != TrajectoryFormat::jsonLines)
+        gals_fatal("append mode needs a JSON-lines trajectory, not '",
+                   path_, "'");
     if (!file_)
         gals_fatal("cannot open trajectory file '", path_,
                    "' for writing");
@@ -76,6 +84,26 @@ TrajectorySink::append(const std::string &scenario,
     }
     // Fail the sweep now, not after simulating the remaining
     // scenarios: a bad stream here means records are already lost.
+    if (!*os_)
+        gals_fatal("error writing trajectory file '", path_, "'");
+}
+
+void
+TrajectorySink::appendOne(const std::string &scenario,
+                          const RunConfig &cfg,
+                          const RunResults &result,
+                          std::size_t canonicalIndex)
+{
+    if (format_ != TrajectoryFormat::jsonLines)
+        gals_fatal("appendOne() streams JSON lines only ('", path_,
+                   "' is csv)");
+    const std::vector<RunConfig> cfgs{cfg};
+    const std::vector<RunResults> results{result};
+    const std::vector<std::size_t> indices{canonicalIndex};
+    writeJsonLines(*os_, scenario, cfgs, results, &indices);
+    // The flush is the contract: once appendOne() returns, the
+    // record survives a SIGKILL of this process.
+    os_->flush();
     if (!*os_)
         gals_fatal("error writing trajectory file '", path_, "'");
 }
@@ -163,15 +191,14 @@ writeManifestFile(const std::string &path, const SweepOptions &opts,
                   const std::string &outputPath,
                   const std::vector<ManifestScenario> &scenarios)
 {
-    std::ofstream os(path,
-                     std::ios::out | std::ios::trunc | std::ios::binary);
-    if (!os)
-        gals_fatal("cannot open manifest file '", path,
-                   "' for writing");
+    // Atomic rename, not in-place truncate: the dispatch
+    // orchestrator treats a slice manifest's *existence* as the
+    // slice-complete marker, so a torn manifest must be impossible.
+    std::ostringstream os;
     writeManifest(os, opts, engineName, outputPath, scenarios);
-    os.flush();
-    if (!os)
-        gals_fatal("error writing manifest file '", path, "'");
+    std::string err;
+    if (!atomicWriteFile(path, os.str(), err))
+        gals_fatal("manifest file: ", err);
 }
 
 } // namespace gals::runner

@@ -66,9 +66,15 @@ const char *trajectoryFormatName(TrajectoryFormat format);
 class TrajectorySink
 {
   public:
-    /** Open (truncate) @p path; fatal if the file cannot be
-     *  created. */
-    explicit TrajectorySink(const std::string &path);
+    /**
+     * Open @p path; fatal if the file cannot be created.
+     * @param appendMode keep existing contents and append (the
+     *     dispatch orchestrator's resumed workers extend a salvaged
+     *     record prefix); JSON-lines only — a resumed CSV file would
+     *     need header reconciliation nothing requires yet.
+     */
+    explicit TrajectorySink(const std::string &path,
+                            bool appendMode = false);
 
     /**
      * Write to a caller-owned stream instead of a file — this is how
@@ -87,6 +93,19 @@ class TrajectorySink
                 const std::vector<RunConfig> &cfgs,
                 const std::vector<RunResults> &results,
                 const std::vector<std::size_t> *indices = nullptr);
+
+    /**
+     * Append ONE record and flush it to disk before returning
+     * (JSON-lines only). This is the crash-safety primitive behind
+     * `galsbench dispatch`: a worker streaming records through
+     * appendOne() in canonical order loses at most the one record
+     * being written when it is killed, and the surviving prefix is
+     * valid JSON lines the orchestrator's resume scan can keep.
+     * @param canonicalIndex the record's index in the unsharded grid.
+     */
+    void appendOne(const std::string &scenario, const RunConfig &cfg,
+                   const RunResults &result,
+                   std::size_t canonicalIndex);
 
     /** Flush and verify the stream; fatal on any write error. Safe
      *  to call more than once. Caller-owned streams are flushed but
@@ -130,7 +149,10 @@ void writeManifest(std::ostream &os, const SweepOptions &opts,
                    const std::string &outputPath,
                    const std::vector<ManifestScenario> &scenarios);
 
-/** writeManifest() to @p path; fatal on any IO error. */
+/** writeManifest() to @p path via temp-file + atomic rename, so a
+ *  crash mid-write never leaves a torn manifest — either the old
+ *  file survives intact or the new one is complete. Fatal on any IO
+ *  error. */
 void writeManifestFile(const std::string &path,
                        const SweepOptions &opts,
                        const std::string &engineName,

@@ -1,0 +1,114 @@
+#include "runner/worker_proc.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace gals::runner
+{
+
+WorkerProc::~WorkerProc()
+{
+    kill();
+}
+
+bool
+WorkerProc::start(const std::vector<std::string> &argv,
+                  const std::string &logPath, std::string &err)
+{
+    if (running()) {
+        err = "worker already running";
+        return false;
+    }
+    if (argv.empty()) {
+        err = "empty worker argv";
+        return false;
+    }
+
+    // Open the log in the parent so a bad path is a reportable
+    // launch error, not a silent child death.
+    const int logFd = ::open(logPath.c_str(),
+                             O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (logFd < 0) {
+        err = "cannot open worker log '" + logPath +
+              "': " + std::strerror(errno);
+        return false;
+    }
+
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        err = std::string("fork failed: ") + std::strerror(errno);
+        ::close(logFd);
+        return false;
+    }
+    if (pid == 0) {
+        // Child: log gets both streams; the worker's record files go
+        // through --output, never through stdout.
+        ::dup2(logFd, 1);
+        ::dup2(logFd, 2);
+        ::close(logFd);
+        ::execv(cargv[0], cargv.data());
+        // Exec failed; stderr is the log file now.
+        ::dprintf(2, "worker exec '%s' failed: %s\n", cargv[0],
+                  std::strerror(errno));
+        ::_exit(127);
+    }
+    ::close(logFd);
+    pid_ = pid;
+    return true;
+}
+
+WorkerProc::Poll
+WorkerProc::poll(std::string &detail)
+{
+    if (!running()) {
+        detail = "not running";
+        return Poll::failed;
+    }
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == 0)
+        return Poll::running;
+    pid_ = -1;
+    if (r < 0) {
+        detail = std::string("waitpid failed: ") +
+                 std::strerror(errno);
+        return Poll::failed;
+    }
+    if (WIFEXITED(status)) {
+        const int code = WEXITSTATUS(status);
+        detail = "exit " + std::to_string(code);
+        return code == 0 ? Poll::exitedOk : Poll::failed;
+    }
+    if (WIFSIGNALED(status)) {
+        detail = "signal " + std::to_string(WTERMSIG(status));
+        return Poll::failed;
+    }
+    detail = "unknown wait status";
+    return Poll::failed;
+}
+
+void
+WorkerProc::kill()
+{
+    if (!running())
+        return;
+    ::kill(pid_, SIGKILL);
+    // SIGKILL is not maskable, so this wait terminates promptly.
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid_ = -1;
+}
+
+} // namespace gals::runner

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Worker subprocess management for the dispatch orchestrator.
+ *
+ * A WorkerProc wraps one `galsbench --shard i/M` worker: fork + exec
+ * with both stdout and stderr redirected to a per-slice log file,
+ * non-blocking exit polling (the orchestrator's event loop must
+ * never block on one worker while others finish), and SIGKILL for
+ * stragglers. The destructor kills and reaps a still-running child,
+ * so no code path — including fatal error exits in the orchestrator
+ * — leaks a worker or a zombie.
+ *
+ * This is deliberately plain POSIX (fork/execv/waitpid/kill): the
+ * orchestrator's crash-safety story depends on workers being real
+ * processes that the kernel can take away at any instant.
+ */
+
+#ifndef RUNNER_WORKER_PROC_HH
+#define RUNNER_WORKER_PROC_HH
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace gals::runner
+{
+
+/** One launched worker subprocess. Movable, not copyable. */
+class WorkerProc
+{
+  public:
+    /** What a poll() observed. */
+    enum class Poll
+    {
+        running,  ///< still alive
+        exitedOk, ///< exited with status 0
+        failed,   ///< non-zero exit or killed by a signal
+    };
+
+    WorkerProc() = default;
+    WorkerProc(const WorkerProc &) = delete;
+    WorkerProc &operator=(const WorkerProc &) = delete;
+
+    /** Kills (SIGKILL) and reaps the child if still running. */
+    ~WorkerProc();
+
+    /**
+     * Fork and exec @p argv (argv[0] is the binary path), with the
+     * child's stdout + stderr appended to @p logPath.
+     * @param err on failure: why the launch did not happen.
+     * @return true iff the child is now running.
+     */
+    bool start(const std::vector<std::string> &argv,
+               const std::string &logPath, std::string &err);
+
+    /** True between a successful start() and the poll()/kill() that
+     *  reaped the child. */
+    bool running() const { return pid_ > 0; }
+
+    /**
+     * Non-blocking status check; reaps the child when it has exited.
+     * @param detail on exitedOk/failed: "exit N" / "signal N".
+     * @return Poll::running while the child is still alive.
+     */
+    Poll poll(std::string &detail);
+
+    /** SIGKILL the child and reap it (blocking — SIGKILL cannot be
+     *  ignored, so the wait is bounded). No-op if not running. */
+    void kill();
+
+    /** Child pid, or -1. */
+    pid_t pid() const { return pid_; }
+
+  private:
+    pid_t pid_ = -1;
+};
+
+} // namespace gals::runner
+
+#endif // RUNNER_WORKER_PROC_HH
