@@ -67,6 +67,7 @@
 #include <unistd.h>
 
 #include "bench/register_all.hh"
+#include "fabric/fabric_config.hh"
 #include "runner/engine.hh"
 #include "runner/fault.hh"
 #include "runner/merge.hh"
@@ -94,6 +95,8 @@ usage(std::FILE *to, int exitCode)
         "                 [--insts N] [--bench NAME] [--seed N]\n"
         "                 [--seeds N | --seed-list a,b,c]\n"
         "                 [--shard I/N]\n"
+        "                 [--cores A,B,...] [--topology T,...]\n"
+        "                 [--traffic P,...]\n"
         "                 [--output PATH] [--manifest PATH]\n"
         "                 [--engine calendar|heap]\n"
         "       galsbench --merge SHARD... --output PATH\n"
@@ -107,6 +110,8 @@ usage(std::FILE *to, int exitCode)
         "                 [--insts N] [--bench NAME] [--seed N]\n"
         "                 [--seeds N | --seed-list a,b,c] [--engine "
         "E]\n"
+        "                 [--cores A,B,...] [--topology T,...]\n"
+        "                 [--traffic P,...]\n"
         "                 [--retries N] [--backoff-ms N]\n"
         "                 [--backoff-cap-ms N] [--straggler-factor "
         "X]\n"
@@ -136,6 +141,14 @@ usage(std::FILE *to, int exitCode)
         "                  every grid (1-based; requires --output\n"
         "                  or --manifest; table/json/csv reports are\n"
         "                  suppressed — merge the shards instead)\n"
+        "  --cores A,B     restrict the fabric scenarios' core-count\n"
+        "                  sweep (each >= 1; 1 = the single-core\n"
+        "                  paper pipeline)\n"
+        "  --topology T    restrict the fabric topology sweep:\n"
+        "                  ring, mesh2d (comma-separated)\n"
+        "  --traffic P     restrict the fabric traffic-matrix sweep:\n"
+        "                  none, permutation, uniform, incast,\n"
+        "                  hotspot[:K] (comma-separated)\n"
         "  --output PATH   append every per-run record to a\n"
         "                  trajectory file: JSON-lines, or CSV when\n"
         "                  PATH ends in .csv\n"
@@ -239,6 +252,110 @@ seedListValue(const char *text)
         pos = comma + 1;
     }
     return seeds;
+}
+
+/** Split a comma-separated flag value; every item must be
+ *  non-empty. */
+std::vector<std::string>
+commaListValue(const char *flag, const char *text)
+{
+    std::vector<std::string> items;
+    const std::string s = text;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        const std::string item = s.substr(pos, comma - pos);
+        if (item.empty()) {
+            std::fprintf(stderr,
+                         "galsbench: %s expects comma-separated "
+                         "values, got '%s'\n",
+                         flag, text);
+            usage(stderr, 2);
+        }
+        items.push_back(item);
+        pos = comma + 1;
+    }
+    return items;
+}
+
+/** Parse the --cores value: comma-separated core counts >= 1. */
+std::vector<unsigned>
+coreListValue(const char *text)
+{
+    std::vector<unsigned> cores;
+    for (const std::string &item : commaListValue("--cores", text)) {
+        const unsigned n = unsignedValue("--cores", item.c_str());
+        if (n == 0) {
+            std::fprintf(stderr,
+                         "galsbench: --cores values must be >= 1, "
+                         "got '%s'\n",
+                         text);
+            usage(stderr, 2);
+        }
+        cores.push_back(n);
+    }
+    return cores;
+}
+
+/** Parse the --topology value: comma-separated topology names. */
+std::vector<std::string>
+topologyListValue(const char *text)
+{
+    std::vector<std::string> topos = commaListValue("--topology", text);
+    for (const std::string &t : topos) {
+        TopologyKind kind;
+        if (!parseTopologyKind(t, kind)) {
+            std::fprintf(stderr,
+                         "galsbench: --topology expects 'ring' or "
+                         "'mesh2d', got '%s'\n",
+                         t.c_str());
+            usage(stderr, 2);
+        }
+    }
+    return topos;
+}
+
+/** Parse the --traffic value: comma-separated traffic-matrix specs
+ *  (syntax check only — core-count cross-checks happen in
+ *  checkFabricAxes() once --cores is known). */
+std::vector<std::string>
+trafficListValue(const char *text)
+{
+    std::vector<std::string> specs = commaListValue("--traffic", text);
+    for (const std::string &spec : specs) {
+        const std::string err = checkTrafficSpec(spec);
+        if (!err.empty()) {
+            std::fprintf(stderr, "galsbench: --traffic: %s\n",
+                         err.c_str());
+            usage(stderr, 2);
+        }
+    }
+    return specs;
+}
+
+/** Cross-validate explicit --traffic specs against explicit --cores
+ *  counts: a spec referencing core K needs K < N for every fabric
+ *  (multi-core) point it will be crossed with. */
+void
+checkFabricAxes(const SweepOptions &opts)
+{
+    for (const std::string &spec : opts.traffics)
+        for (unsigned n : opts.coreCounts) {
+            if (n < 2)
+                continue; // single-core points carry no fabric
+            std::vector<TrafficFlow> flows;
+            const std::string err =
+                parseTrafficPattern(spec, n, flows);
+            if (!err.empty()) {
+                std::fprintf(stderr,
+                             "galsbench: --traffic '%s' with --cores "
+                             "%u: %s\n",
+                             spec.c_str(), n, err.c_str());
+                usage(stderr, 2);
+            }
+        }
 }
 
 /** Flush std::cout and turn a write failure into exit 1: reports
@@ -408,6 +525,15 @@ dispatchMain(int argc, char **argv, const ScenarioRegistry &registry)
         } else if (!std::strcmp(arg, "--seed-list")) {
             opts.sweep.explicitSeeds =
                 seedListValue(argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--cores")) {
+            opts.sweep.coreCounts =
+                coreListValue(argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--topology")) {
+            opts.sweep.topologies =
+                topologyListValue(argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--traffic")) {
+            opts.sweep.traffics =
+                trafficListValue(argValue(argc, argv, i));
         } else if (!std::strcmp(arg, "--engine")) {
             opts.engineName = queueEngineName(engineValue(
                 "--engine", argValue(argc, argv, i)));
@@ -482,6 +608,7 @@ dispatchMain(int argc, char **argv, const ScenarioRegistry &registry)
 
     if (!cliBenchmarks.empty())
         opts.sweep.benchmarks = std::move(cliBenchmarks);
+    checkFabricAxes(opts.sweep);
     if (runAll) {
         opts.scenarios.clear();
         for (const Scenario &s : registry.all())
@@ -635,6 +762,17 @@ main(int argc, char **argv)
         } else if (!std::strcmp(arg, "--shard")) {
             opts.shard = shardValue(argValue(argc, argv, i));
             sweepFlags.push_back("--shard");
+        } else if (!std::strcmp(arg, "--cores")) {
+            opts.coreCounts = coreListValue(argValue(argc, argv, i));
+            sweepFlags.push_back("--cores");
+        } else if (!std::strcmp(arg, "--topology")) {
+            opts.topologies =
+                topologyListValue(argValue(argc, argv, i));
+            sweepFlags.push_back("--topology");
+        } else if (!std::strcmp(arg, "--traffic")) {
+            opts.traffics =
+                trafficListValue(argValue(argc, argv, i));
+            sweepFlags.push_back("--traffic");
         } else if (!std::strcmp(arg, "--merge")) {
             fileListValue("--merge", argc, argv, i, mergeFiles);
         } else if (!std::strcmp(arg, "--merge-manifest")) {
@@ -681,6 +819,7 @@ main(int argc, char **argv)
     // Explicit --bench flags override the GALSSIM_BENCH default.
     if (!cliBenchmarks.empty())
         opts.benchmarks = std::move(cliBenchmarks);
+    checkFabricAxes(opts);
 
     if (cliFault.active())
         setFaultPlan(cliFault);

@@ -22,6 +22,9 @@ registerAllScenarios(runner::ScenarioRegistry &reg)
     reg.add(quickstartScenario());
     reg.add(suiteScenario());
     reg.add(dvfsExplorerScenario());
+    reg.add(fabricPerfScenario());
+    reg.add(fabricTopoScenario());
+    reg.add(fabricSmokeScenario());
 }
 
 } // namespace gals::bench

@@ -42,6 +42,13 @@ runner::Scenario suiteScenario();
 runner::Scenario dvfsExplorerScenario();
 /// @}
 
+/** @name Multi-core fabric (fabric/system.hh) */
+/// @{
+runner::Scenario fabricPerfScenario();
+runner::Scenario fabricTopoScenario();
+runner::Scenario fabricSmokeScenario();
+/// @}
+
 /** Register every scenario above. */
 void registerAllScenarios(runner::ScenarioRegistry &reg);
 

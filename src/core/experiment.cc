@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "dvfs/controller.hh"
+#include "fabric/system.hh"
 #include "sim/logging.hh"
 
 namespace gals
@@ -117,6 +118,20 @@ runConfigHash(const RunConfig &cfg)
     hash.f64(pc.tech.vddNominal);
     hash.f64(pc.tech.vt);
     hash.f64(pc.tech.alpha);
+
+    // Fabric axes hash only when a fabric is actually configured
+    // (cores > 1): every pre-fabric RunConfig — including archived
+    // PR 3-6 manifests — keeps its exact historical hash.
+    const FabricConfig &fab = cfg.fabric;
+    if (fab.active()) {
+        hash.str("fabric");
+        hash.u64(fab.cores);
+        hash.str(topologyKindName(fab.topology));
+        hash.str(fab.traffic);
+        hash.u64(fab.linkFifoCapacity);
+        hash.u64(fab.trafficInterval);
+        hash.u64(fab.trafficWindow);
+    }
     return hash.h;
 }
 
@@ -131,35 +146,9 @@ runConfigHash(const std::vector<RunConfig> &cfgs)
 }
 
 RunResults
-runOne(const RunConfig &cfg)
+extractRunResults(Processor &proc, const RunConfig &cfg)
 {
-    const BenchmarkProfile &profile = findBenchmark(cfg.benchmark);
-
-    ProcessorConfig pc = cfg.proc;
-    pc.gals = cfg.gals;
-    pc.dvfs = cfg.gals ? cfg.dvfs : DvfsSetting();
-    pc.phaseSeed = effectivePhaseSeed(cfg);
-
-    EventQueue eq("eq." + cfg.benchmark);
-    Processor proc(eq, pc, profile, cfg.seed);
-
-    // The online controller discovers per-domain utilization and
-    // retunes clock/voltage while the run progresses; it manages the
-    // FP domain (the paper's section 5.2 examples all slow the FP
-    // clock) — fetch/memory issue slots are a poor utilization proxy
-    // because loads are latency-critical.
-    std::unique_ptr<DynamicDvfsController> ctrl;
-    if (cfg.dynamicDvfs) {
-        ctrl = std::make_unique<DynamicDvfsController>(eq, pc.tech);
-        ctrl->manage(proc.domain(DomainId::fpd),
-                     proc.fpCluster().issuedCounter(),
-                     pc.core.fpIssueWidth);
-        ctrl->start();
-    }
-
-    proc.run(cfg.instructions);
-    if (ctrl)
-        ctrl->stop();
+    const ProcessorConfig &pc = proc.config();
 
     RunResults r;
     r.benchmark = cfg.benchmark;
@@ -217,6 +206,43 @@ runOne(const RunConfig &cfg)
     r.l2MissRate = proc.caches().l2().missRate();
 
     return r;
+}
+
+RunResults
+runOne(const RunConfig &cfg)
+{
+    if (cfg.fabric.active())
+        return runSystem(cfg);
+
+    const BenchmarkProfile &profile = findBenchmark(cfg.benchmark);
+
+    ProcessorConfig pc = cfg.proc;
+    pc.gals = cfg.gals;
+    pc.dvfs = cfg.gals ? cfg.dvfs : DvfsSetting();
+    pc.phaseSeed = effectivePhaseSeed(cfg);
+
+    EventQueue eq("eq." + cfg.benchmark);
+    Processor proc(eq, pc, profile, cfg.seed);
+
+    // The online controller discovers per-domain utilization and
+    // retunes clock/voltage while the run progresses; it manages the
+    // FP domain (the paper's section 5.2 examples all slow the FP
+    // clock) — fetch/memory issue slots are a poor utilization proxy
+    // because loads are latency-critical.
+    std::unique_ptr<DynamicDvfsController> ctrl;
+    if (cfg.dynamicDvfs) {
+        ctrl = std::make_unique<DynamicDvfsController>(eq, pc.tech);
+        ctrl->manage(proc.domain(DomainId::fpd),
+                     proc.fpCluster().issuedCounter(),
+                     pc.core.fpIssueWidth);
+        ctrl->start();
+    }
+
+    proc.run(cfg.instructions);
+    if (ctrl)
+        ctrl->stop();
+
+    return extractRunResults(proc, cfg);
 }
 
 std::vector<RunResults>

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/processor.hh"
+#include "fabric/fabric_config.hh"
 #include "workload/profile.hh"
 
 namespace gals
@@ -42,6 +43,9 @@ struct RunConfig
      *  section 6 future direction); only meaningful with gals=true. */
     bool dynamicDvfs = false;
     ProcessorConfig proc;      ///< gals/dvfs fields are overridden
+    /** Multi-core fabric axes; inert (and unhashed) at cores == 1, so
+     *  every pre-fabric config keeps its archived hash. */
+    FabricConfig fabric;
 };
 
 /**
@@ -50,6 +54,25 @@ struct RunConfig
  * The single point where the sentinel is interpreted.
  */
 std::uint64_t effectivePhaseSeed(const RunConfig &cfg);
+
+/**
+ * Per-core slice of a fabric run: the headline metrics of one core
+ * plus its NIC traffic counters. Empty for single-core runs.
+ */
+struct CoreResults
+{
+    unsigned core = 0;
+    std::uint64_t committed = 0;
+    double ipcNominal = 0.0; ///< committed per nominal cycle, to the
+                             ///< core's own last commit
+    double energyJ = 0.0;
+    std::uint64_t fifoEvents = 0;      ///< intra-core channel activity
+    std::uint64_t msgsSent = 0;        ///< requests this core injected
+    std::uint64_t msgsReceived = 0;    ///< requests served for others
+    std::uint64_t remoteStallCycles = 0; ///< fetch cycles blocked on
+                                         ///< the completion window
+    double avgRemoteLatencyCycles = 0.0; ///< request round trip
+};
 
 /** Everything measured in one run. */
 struct RunResults
@@ -100,6 +123,10 @@ struct RunResults
     /// @{
     double il1MissRate = 0.0, dl1MissRate = 0.0, l2MissRate = 0.0;
     /// @}
+
+    /** Per-core breakdown; non-empty only for fabric (cores > 1)
+     *  runs. The scalar metrics above are the system aggregates. */
+    std::vector<CoreResults> cores;
 };
 
 /**
@@ -156,8 +183,17 @@ std::uint64_t runConfigHash(const RunConfig &cfg);
 /** Chained hash of a whole grid (order-sensitive, size included). */
 std::uint64_t runConfigHash(const std::vector<RunConfig> &cfgs);
 
-/** Execute one run. */
+/** Execute one run. Dispatches to fabric::runSystem() when
+ *  cfg.fabric.active(); otherwise the classic single-core path. */
 RunResults runOne(const RunConfig &cfg);
+
+/**
+ * Harvest every RunResults metric from a finished Processor. Shared
+ * by the single-core path and fabric::System (which extracts one per
+ * core and aggregates). @p cfg supplies the labels and the nominal
+ * period.
+ */
+RunResults extractRunResults(Processor &proc, const RunConfig &cfg);
 
 /**
  * Execute a batch of runs serially; results[i] belongs to cfgs[i].

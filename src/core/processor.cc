@@ -26,9 +26,10 @@ ProcessorConfig::validate() const
 
 Processor::Processor(EventQueue &eq, const ProcessorConfig &cfg,
                      const BenchmarkProfile &profile,
-                     std::uint64_t runSeed)
-    : eq_(eq), cfg_(cfg), profile_(profile), gen_(profile, runSeed),
-      hier_(cfg.core.caches),
+                     std::uint64_t runSeed,
+                     const std::string &namePrefix)
+    : eq_(eq), cfg_(cfg), prefix_(namePrefix), profile_(profile),
+      gen_(profile, runSeed), hier_(cfg.core.caches),
       powerModel_(cfg.core, cfg.tech, cfg.clocks), energy_(powerModel_)
 {
     cfg_.validate();
@@ -58,7 +59,7 @@ Processor::buildDomains(std::uint64_t runSeed)
                          slowdown));
         Tick phase = 0;
         domains_[i] = std::make_unique<ClockDomain>(
-            eq_, std::string("domain.") + domainName(id), period, phase);
+            eq_, prefix_ + "domain." + domainName(id), period, phase);
         domains_[i]->setVdd(cfg_.dvfs.vddOf(id, cfg_.tech));
     }
 }
@@ -78,17 +79,17 @@ Processor::buildChannels()
     const unsigned se = cfg_.syncEdges;
 
     fetchToDecode_ = std::make_unique<Channel<DynInstPtr>>(
-        "ch.fetch2decode", mode, dom(DomainId::fetch),
+        prefix_ + "ch.fetch2decode", mode, dom(DomainId::fetch),
         dom(DomainId::decode), cap, se);
     dispatchInt_ = std::make_unique<Channel<DynInstPtr>>(
-        "ch.disp2int", mode, dom(DomainId::decode), dom(DomainId::intd),
-        cap, se);
+        prefix_ + "ch.disp2int", mode, dom(DomainId::decode),
+        dom(DomainId::intd), cap, se);
     dispatchFp_ = std::make_unique<Channel<DynInstPtr>>(
-        "ch.disp2fp", mode, dom(DomainId::decode), dom(DomainId::fpd),
-        cap, se);
+        prefix_ + "ch.disp2fp", mode, dom(DomainId::decode),
+        dom(DomainId::fpd), cap, se);
     dispatchMem_ = std::make_unique<Channel<DynInstPtr>>(
-        "ch.disp2mem", mode, dom(DomainId::decode), dom(DomainId::memd),
-        cap, se);
+        prefix_ + "ch.disp2mem", mode, dom(DomainId::decode),
+        dom(DomainId::memd), cap, se);
 
     const DomainId execs[3] = {DomainId::intd, DomainId::fpd,
                                DomainId::memd};
@@ -97,30 +98,30 @@ Processor::buildChannels()
             if (p == c)
                 continue;
             wakeups_.push_back(std::make_unique<Channel<WakeupMsg>>(
-                std::string("ch.wakeup.") + domainName(p) + "2" +
+                prefix_ + "ch.wakeup." + domainName(p) + "2" +
                     domainName(c),
                 mode, dom(p), dom(c), mcap, se, false));
         }
     }
 
     completeInt_ = std::make_unique<Channel<CompleteMsg>>(
-        "ch.complete.int", mode, dom(DomainId::intd),
+        prefix_ + "ch.complete.int", mode, dom(DomainId::intd),
         dom(DomainId::decode), mcap, se, false);
     completeFp_ = std::make_unique<Channel<CompleteMsg>>(
-        "ch.complete.fp", mode, dom(DomainId::fpd),
+        prefix_ + "ch.complete.fp", mode, dom(DomainId::fpd),
         dom(DomainId::decode), mcap, se, false);
     completeMem_ = std::make_unique<Channel<CompleteMsg>>(
-        "ch.complete.mem", mode, dom(DomainId::memd),
+        prefix_ + "ch.complete.mem", mode, dom(DomainId::memd),
         dom(DomainId::decode), mcap, se, false);
 
     redirect_ = std::make_unique<Channel<RedirectMsg>>(
-        "ch.redirect", mode, dom(DomainId::intd), dom(DomainId::fetch),
-        16, se, false);
+        prefix_ + "ch.redirect", mode, dom(DomainId::intd),
+        dom(DomainId::fetch), 16, se, false);
     storeCommit_ = std::make_unique<Channel<StoreCommitMsg>>(
-        "ch.storecommit", mode, dom(DomainId::decode),
+        prefix_ + "ch.storecommit", mode, dom(DomainId::decode),
         dom(DomainId::memd), mcap, se, false);
     bpredUpdate_ = std::make_unique<Channel<BpredUpdateMsg>>(
-        "ch.bpredupdate", mode, dom(DomainId::decode),
+        prefix_ + "ch.bpredupdate", mode, dom(DomainId::decode),
         dom(DomainId::fetch), mcap, se, false);
 
     allChannels_ = {fetchToDecode_.get(), dispatchInt_.get(),
@@ -222,26 +223,52 @@ Processor::squashFrom(InstSeqNum afterSeq)
 }
 
 void
-Processor::run(std::uint64_t targetCommitted)
+Processor::prepareRun(std::uint64_t targetCommitted)
 {
     gals_assert(targetCommitted > 0, "nothing to run");
-
     fetch_->setFetchLimit(targetCommitted);
+}
 
+void
+Processor::startClocks(Rng &phaseRng)
+{
     // Start clocks in reverse pipeline order (see buildStages). In
     // GALS mode each clock gets a random initial phase (section 4.3:
     // "the starting phase of each clock was set to a random value at
     // runtime").
-    Rng phase_rng(cfg_.phaseSeed * 0x9e3779b97f4a7c15ULL + 0x1234567ULL);
     const DomainId start_order[numDomains] = {
         DomainId::intd, DomainId::fpd, DomainId::memd, DomainId::decode,
         DomainId::fetch};
     for (const DomainId id : start_order) {
         ClockDomain &cd = domain(id);
         if (cfg_.gals && cfg_.randomPhase)
-            cd.setPhase(phase_rng.range(0, cd.period() - 1));
+            cd.setPhase(phaseRng.range(0, cd.period() - 1));
         cd.start();
     }
+}
+
+std::uint64_t
+Processor::committed() const
+{
+    return decode_->commitStats().committed;
+}
+
+void
+Processor::finishRun()
+{
+    endTick_ = eq_.now();
+    for (auto &cd : domains_)
+        if (cd->running())
+            cd->stop();
+}
+
+void
+Processor::run(std::uint64_t targetCommitted)
+{
+    prepareRun(targetCommitted);
+
+    Rng phase_rng(cfg_.phaseSeed * 0x9e3779b97f4a7c15ULL + 0x1234567ULL);
+    startClocks(phase_rng);
 
     const Tick watchdog_ticks =
         cfg_.watchdogCycles * cfg_.nominalPeriod;
@@ -267,9 +294,7 @@ Processor::run(std::uint64_t targetCommitted)
         }
     }
 
-    endTick_ = eq_.now();
-    for (auto &cd : domains_)
-        cd->stop();
+    finishRun();
 }
 
 void

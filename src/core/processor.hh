@@ -51,17 +51,17 @@ struct ProcessorConfig
     bool gals = false;
 
     /** Nominal clock period in ticks (1000 ps = 1 GHz). */
-    Tick nominalPeriod = 1000;
+    Tick nominalPeriod = defaults::nominalPeriod;
 
     /** Per-domain frequency/voltage scaling (section 5.2). */
     DvfsSetting dvfs;
 
     /** Capacity of instruction-carrying FIFOs. */
-    unsigned fifoCapacity = 24;
+    unsigned fifoCapacity = defaults::instFifoCapacity;
     /** Capacity of message FIFOs (wakeups, completions, ...). */
-    unsigned msgFifoCapacity = 4096;
+    unsigned msgFifoCapacity = defaults::msgFifoCapacity;
     /** Synchronizer depth of the asynchronous FIFOs (edges). */
-    unsigned syncEdges = 3;
+    unsigned syncEdges = defaults::syncEdges;
 
     /** Randomize initial clock phases (GALS mode; section 4.3). */
     bool randomPhase = true;
@@ -71,7 +71,7 @@ struct ProcessorConfig
     ClockHierarchySpec clocks = defaultClockHierarchy();
 
     /** Abort if no instruction commits for this many nominal cycles. */
-    std::uint64_t watchdogCycles = 500000;
+    std::uint64_t watchdogCycles = defaults::watchdogCycles;
 
     void validate() const;
 };
@@ -82,12 +82,36 @@ struct ProcessorConfig
 class Processor
 {
   public:
+    /**
+     * @param namePrefix  prepended to every domain/channel name; ""
+     *     for a standalone core, "core<i>." inside a fabric::System
+     *     so diagnostics distinguish the cores.
+     */
     Processor(EventQueue &eq, const ProcessorConfig &cfg,
-              const BenchmarkProfile &profile, std::uint64_t runSeed = 0);
+              const BenchmarkProfile &profile, std::uint64_t runSeed = 0,
+              const std::string &namePrefix = "");
     ~Processor();
 
     /** Run until @p targetCommitted instructions have committed. */
     void run(std::uint64_t targetCommitted);
+
+    /** @name Run primitives
+     * run() is prepareRun + startClocks + the event-service loop +
+     * finishRun. fabric::System drives N processors through the same
+     * primitives on one shared EventQueue instead of calling run().
+     */
+    /// @{
+    /** Arm the fetch unit to stop generating past the target. */
+    void prepareRun(std::uint64_t targetCommitted);
+    /** Start the five clocks in canonical reverse pipeline order; in
+     *  GALS mode each draws a random initial phase from @p phaseRng
+     *  (section 4.3). */
+    void startClocks(Rng &phaseRng);
+    /** Instructions committed so far. */
+    std::uint64_t committed() const;
+    /** Record the end-of-run time and stop the clocks. */
+    void finishRun();
+    /// @}
 
     /** @name Component access (post-run statistics) */
     /// @{
@@ -139,6 +163,7 @@ class Processor
 
     EventQueue &eq_;
     ProcessorConfig cfg_;
+    std::string prefix_;
     BenchmarkProfile profile_;
     StreamGenerator gen_;
     CacheHierarchy hier_;

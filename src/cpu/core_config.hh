@@ -10,11 +10,36 @@
 #ifndef CPU_CORE_CONFIG_HH
 #define CPU_CORE_CONFIG_HH
 
+#include <cstdint>
+
 #include "bpred/bpred.hh"
 #include "cache/hierarchy.hh"
 
 namespace gals
 {
+
+/**
+ * Structural defaults shared across configuration structs. Single
+ * source of truth: CoreConfig (below), ProcessorConfig
+ * (core/processor.hh) and FabricConfig (fabric/fabric_config.hh) all
+ * initialize from these constants instead of repeating the literals,
+ * so the coupled knobs cannot drift apart.
+ */
+namespace defaults
+{
+/** Nominal clock period in ticks (1000 ps = 1 GHz). */
+constexpr std::uint64_t nominalPeriod = 1000;
+/** Fetch queue entries between the fetch and decode domains. */
+constexpr unsigned fetchQueueSize = 8;
+/** Capacity of instruction-carrying inter-domain FIFOs. */
+constexpr unsigned instFifoCapacity = 24;
+/** Capacity of message FIFOs (wakeups, completions, ...). */
+constexpr unsigned msgFifoCapacity = 4096;
+/** Synchronizer depth of the asynchronous FIFOs (edges). */
+constexpr unsigned syncEdges = 3;
+/** Abort when no instruction commits for this many nominal cycles. */
+constexpr std::uint64_t watchdogCycles = 500000;
+} // namespace defaults
 
 /** Widths, structure sizes and functional-unit counts of the core. */
 struct CoreConfig
@@ -32,7 +57,7 @@ struct CoreConfig
 
     /** @name Queue / structure sizes */
     /// @{
-    unsigned fetchQueueSize = 8;
+    unsigned fetchQueueSize = defaults::fetchQueueSize;
     unsigned intQueueSize = 20;  ///< Table 3
     unsigned fpQueueSize = 16;   ///< Table 3
     unsigned memQueueSize = 16;  ///< Table 3

@@ -94,6 +94,10 @@ FetchStage::tick()
         return;
     }
 
+    // Remote-completion dependency (fabric NIC window full, etc.).
+    if (externalStall_ && externalStall_())
+        return;
+
     std::uint64_t last_line = ~std::uint64_t(0);
     for (unsigned n = 0; n < cfg_.fetchWidth; ++n) {
         if (out_.full())

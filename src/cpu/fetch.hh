@@ -59,6 +59,19 @@ class FetchStage : public ClockDomain::Ticker
         squashFn_ = std::move(fn);
     }
 
+    /**
+     * External stall predicate, polled once per fetch cycle after the
+     * incoming-message drains: while it returns true the front end
+     * fetches nothing. Used by the fabric NIC to model a core blocked
+     * on a remote completion; unset (the default) costs nothing and
+     * changes nothing.
+     */
+    void
+    setExternalStall(std::function<bool()> fn)
+    {
+        externalStall_ = std::move(fn);
+    }
+
     /** @name Statistics */
     /// @{
     std::uint64_t fetched() const { return fetched_; }
@@ -89,6 +102,7 @@ class FetchStage : public ClockDomain::Ticker
     unsigned syncEdges_;
 
     std::function<void(InstSeqNum)> squashFn_;
+    std::function<bool()> externalStall_;
 
     InstSeqNum nextSeq_ = 1;
     bool wrongPathMode_ = false;

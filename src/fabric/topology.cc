@@ -1,0 +1,97 @@
+#include "fabric/topology.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+unsigned
+meshRows(unsigned cores)
+{
+    gals_assert(cores >= 1, "meshRows: zero cores");
+    unsigned rows = 1;
+    for (unsigned r = 1; r * r <= cores; ++r)
+        if (cores % r == 0)
+            rows = r;
+    return rows;
+}
+
+std::vector<LinkSpec>
+buildTopologyLinks(TopologyKind kind, unsigned cores)
+{
+    std::vector<LinkSpec> links;
+    if (cores < 2)
+        return links;
+
+    auto add = [&links](unsigned a, unsigned b) {
+        for (const LinkSpec &l : links)
+            if (l.src == a && l.dst == b)
+                return;
+        links.push_back({a, b});
+    };
+
+    switch (kind) {
+      case TopologyKind::ring:
+        for (unsigned i = 0; i < cores; ++i) {
+            add(i, (i + 1) % cores);
+            add(i, (i + cores - 1) % cores);
+        }
+        break;
+      case TopologyKind::mesh2d: {
+        const unsigned rows = meshRows(cores);
+        const unsigned cols = cores / rows;
+        for (unsigned r = 0; r < rows; ++r) {
+            for (unsigned c = 0; c < cols; ++c) {
+                const unsigned n = r * cols + c;
+                if (c + 1 < cols) {
+                    add(n, n + 1);
+                    add(n + 1, n);
+                }
+                if (r + 1 < rows) {
+                    add(n, n + cols);
+                    add(n + cols, n);
+                }
+            }
+        }
+        break;
+      }
+    }
+
+    std::sort(links.begin(), links.end(),
+              [](const LinkSpec &a, const LinkSpec &b) {
+                  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+    return links;
+}
+
+unsigned
+nextHop(TopologyKind kind, unsigned cores, unsigned from, unsigned to)
+{
+    gals_assert(from != to, "nextHop: message already at destination");
+    gals_assert(from < cores && to < cores, "nextHop: core out of range");
+
+    switch (kind) {
+      case TopologyKind::ring: {
+        const unsigned fwd = (to + cores - from) % cores;
+        const unsigned bwd = cores - fwd;
+        return fwd <= bwd ? (from + 1) % cores
+                          : (from + cores - 1) % cores;
+      }
+      case TopologyKind::mesh2d: {
+        const unsigned rows = meshRows(cores);
+        const unsigned cols = cores / rows;
+        const unsigned fc = from % cols;
+        const unsigned tc = to % cols;
+        if (fc != tc)
+            return fc < tc ? from + 1 : from - 1;
+        return from % cols == to % cols && from < to ? from + cols
+                                                     : from - cols;
+      }
+    }
+    gals_panic("nextHop: unknown topology");
+    return 0;
+}
+
+} // namespace gals

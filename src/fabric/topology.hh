@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Topology generators: turn (TopologyKind, N) into the directed link
+ * list a fabric::System instantiates as Channel-backed GALS links,
+ * plus the static routing function the per-core NICs use.
+ *
+ * Both generators emit a strongly connected directed graph whose
+ * links are sorted (src, dst) ascending — construction order is part
+ * of the determinism contract, so it must not depend on container
+ * iteration quirks.
+ */
+
+#ifndef FABRIC_TOPOLOGY_HH
+#define FABRIC_TOPOLOGY_HH
+
+#include <vector>
+
+#include "fabric/fabric_config.hh"
+
+namespace gals
+{
+
+/** One directed inter-core link. */
+struct LinkSpec
+{
+    unsigned src = 0;
+    unsigned dst = 0;
+};
+
+/** Rows of the 2D mesh for @p cores: largest divisor <= sqrt(N), so
+ *  the mesh is as square as N allows (prime N degrades to a chain). */
+unsigned meshRows(unsigned cores);
+
+/** Generate the directed links of @p kind over @p cores cores,
+ *  sorted (src, dst) ascending, no duplicates. */
+std::vector<LinkSpec> buildTopologyLinks(TopologyKind kind,
+                                         unsigned cores);
+
+/**
+ * The neighbor @p from forwards to next for a message addressed to
+ * @p to (!= @p from). Ring: shortest direction, ties broken forward.
+ * Mesh: XY dimension-order (column first, then row) — deadlock-free
+ * for the request/reply protocol because routes never cycle.
+ */
+unsigned nextHop(TopologyKind kind, unsigned cores, unsigned from,
+                 unsigned to);
+
+} // namespace gals
+
+#endif // FABRIC_TOPOLOGY_HH

@@ -288,6 +288,33 @@ readManifest(const std::string &path, ParsedManifest &out,
         }
     }
 
+    if (const json::Value *fab = v.find("fabric")) {
+        const json::Value *cores = fab->find("cores");
+        const json::Value *topos = fab->find("topologies");
+        const json::Value *traffics = fab->find("traffics");
+        if (!cores || cores->kind != json::Value::Kind::array ||
+            !topos || topos->kind != json::Value::Kind::array ||
+            !traffics ||
+            traffics->kind != json::Value::Kind::array)
+            return fail("malformed fabric object");
+        for (const json::Value &c : cores->items) {
+            std::uint64_t n = 0;
+            if (!c.asU64(n) || n < 1)
+                return fail("non-integral fabric core count");
+            out.opts.coreCounts.push_back(static_cast<unsigned>(n));
+        }
+        for (const json::Value &t : topos->items) {
+            if (t.kind != json::Value::Kind::string)
+                return fail("non-string fabric topology");
+            out.opts.topologies.push_back(t.str);
+        }
+        for (const json::Value &t : traffics->items) {
+            if (t.kind != json::Value::Kind::string)
+                return fail("non-string fabric traffic");
+            out.opts.traffics.push_back(t.str);
+        }
+    }
+
     if (const json::Value *shard = v.find("shard")) {
         const json::Value *idx = shard->find("index");
         const json::Value *cnt = shard->find("count");
@@ -687,6 +714,9 @@ mergeManifests(const std::vector<std::string> &shardFiles,
             m.opts.instructions != first.opts.instructions ||
             m.opts.explicitSeeds != first.opts.explicitSeeds ||
             m.opts.benchmarks != first.opts.benchmarks ||
+            m.opts.coreCounts != first.opts.coreCounts ||
+            m.opts.topologies != first.opts.topologies ||
+            m.opts.traffics != first.opts.traffics ||
             m.opts.shard.count != count ||
             !sameScenarios(m.scenarios, first.scenarios)) {
             diag << "merge-manifest: '" << shardFiles[i]

@@ -446,7 +446,27 @@ runDispatch(const ScenarioRegistry &registry,
     for (std::size_t i = 0; i < opts.sweep.benchmarks.size(); ++i)
         plan << (i ? "," : "")
              << jsonQuote(opts.sweep.benchmarks[i]);
-    plan << "],\"scenarios\":[";
+    plan << "]";
+    // Gated like the manifest's fabric object: absent for pre-fabric
+    // sweeps, so their plan lines (and thus resumability of archived
+    // dispatch directories) keep their exact historical bytes.
+    if (!opts.sweep.coreCounts.empty() ||
+        !opts.sweep.topologies.empty() ||
+        !opts.sweep.traffics.empty()) {
+        plan << ",\"fabric\":{\"cores\":[";
+        for (std::size_t i = 0; i < opts.sweep.coreCounts.size(); ++i)
+            plan << (i ? "," : "") << opts.sweep.coreCounts[i];
+        plan << "],\"topologies\":[";
+        for (std::size_t i = 0; i < opts.sweep.topologies.size(); ++i)
+            plan << (i ? "," : "")
+                 << jsonQuote(opts.sweep.topologies[i]);
+        plan << "],\"traffics\":[";
+        for (std::size_t i = 0; i < opts.sweep.traffics.size(); ++i)
+            plan << (i ? "," : "")
+                 << jsonQuote(opts.sweep.traffics[i]);
+        plan << "]}";
+    }
+    plan << ",\"scenarios\":[";
     for (std::size_t i = 0; i < shapes.size(); ++i)
         plan << (i ? "," : "") << "{\"name\":"
              << jsonQuote(shapes[i].scenario->name)
@@ -658,6 +678,39 @@ runDispatch(const ScenarioRegistry &registry,
         for (const std::string &b : opts.sweep.benchmarks) {
             argv.push_back("--bench");
             argv.push_back(b);
+        }
+        if (!opts.sweep.coreCounts.empty()) {
+            std::string cores;
+            for (std::size_t k = 0; k < opts.sweep.coreCounts.size();
+                 ++k) {
+                if (k)
+                    cores += ',';
+                cores += std::to_string(opts.sweep.coreCounts[k]);
+            }
+            argv.push_back("--cores");
+            argv.push_back(cores);
+        }
+        if (!opts.sweep.topologies.empty()) {
+            std::string topos;
+            for (std::size_t k = 0; k < opts.sweep.topologies.size();
+                 ++k) {
+                if (k)
+                    topos += ',';
+                topos += opts.sweep.topologies[k];
+            }
+            argv.push_back("--topology");
+            argv.push_back(topos);
+        }
+        if (!opts.sweep.traffics.empty()) {
+            std::string traffics;
+            for (std::size_t k = 0; k < opts.sweep.traffics.size();
+                 ++k) {
+                if (k)
+                    traffics += ',';
+                traffics += opts.sweep.traffics[k];
+            }
+            argv.push_back("--traffic");
+            argv.push_back(traffics);
         }
         argv.push_back("--engine");
         argv.push_back(opts.engineName);

@@ -170,6 +170,12 @@ writeJsonLines(std::ostream &os, const std::string &scenario,
            << ",\"instructions\":" << num(c.instructions)
            << ",\"seed\":" << num(c.seed)
            << ",\"phase_seed\":" << num(effectivePhaseSeed(c));
+        // Fabric axes only for fabric runs: pre-fabric records (and
+        // N=1 fabric-scenario records) keep their exact bytes.
+        if (c.fabric.active())
+            os << ",\"cores\":" << c.fabric.cores << ",\"topology\":"
+               << jsonQuote(topologyKindName(c.fabric.topology))
+               << ",\"traffic\":" << jsonQuote(c.fabric.traffic);
         for (const MetricAccessor &acc : metricAccessors())
             os << ",\"" << acc.name
                << "\":" << metricValue(acc, r, true);
@@ -181,7 +187,28 @@ writeJsonLines(std::ostream &os, const std::string &scenario,
             first = false;
             os << jsonQuote(unit) << ":" << jsonNum(nj);
         }
-        os << "}}\n";
+        os << "}";
+        if (!r.cores.empty()) {
+            os << ",\"per_core\":[";
+            for (std::size_t k = 0; k < r.cores.size(); ++k) {
+                const CoreResults &cr = r.cores[k];
+                if (k)
+                    os << ",";
+                os << "{\"core\":" << cr.core << ",\"committed\":"
+                   << num(cr.committed) << ",\"ipc_nominal\":"
+                   << jsonNum(cr.ipcNominal) << ",\"energy_j\":"
+                   << jsonNum(cr.energyJ) << ",\"fifo_events\":"
+                   << num(cr.fifoEvents) << ",\"msgs_sent\":"
+                   << num(cr.msgsSent) << ",\"msgs_received\":"
+                   << num(cr.msgsReceived)
+                   << ",\"remote_stall_cycles\":"
+                   << num(cr.remoteStallCycles)
+                   << ",\"avg_remote_latency_cycles\":"
+                   << jsonNum(cr.avgRemoteLatencyCycles) << "}";
+            }
+            os << "]";
+        }
+        os << "}\n";
     }
 }
 

@@ -57,6 +57,38 @@ struct SweepOptions
      *  slice. */
     ShardSpec shard;
 
+    /** @name Fabric axes (`--cores`, `--topology`, `--traffic`)
+     *
+     * Empty vectors mean "the scenario's default sweep" — the state
+     * every pre-fabric invocation is in, so manifests, plan lines and
+     * worker command lines only mention these axes when they are
+     * explicitly set. Fabric-family scenarios cross their grid with
+     * whichever of these are non-empty.
+     */
+    /// @{
+    std::vector<unsigned> coreCounts;
+    std::vector<std::string> topologies;
+    std::vector<std::string> traffics;
+
+    /** The core-count sweep: coreCounts, or @p def when unset. */
+    std::vector<unsigned> coreSet(std::vector<unsigned> def) const
+    {
+        return coreCounts.empty() ? def : coreCounts;
+    }
+    /** The topology sweep: topologies, or @p def when unset. */
+    std::vector<std::string>
+    topologySet(std::vector<std::string> def) const
+    {
+        return topologies.empty() ? def : topologies;
+    }
+    /** The traffic sweep: traffics, or @p def when unset. */
+    std::vector<std::string>
+    trafficSet(std::vector<std::string> def) const
+    {
+        return traffics.empty() ? def : traffics;
+    }
+    /// @}
+
     /** The replica seeds, in run order: @ref explicitSeeds when
      *  given, else seed, seed+1, ..., seed+seedReplicas-1. */
     std::vector<std::uint64_t> seedList() const;

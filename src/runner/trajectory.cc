@@ -158,6 +158,38 @@ writeManifest(std::ostream &os, const SweepOptions &opts,
     }
     os << "],\n";
 
+    // Fabric axes (--cores / --topology / --traffic), written only
+    // when explicitly set: pre-fabric manifests — including archived
+    // PR 3-6 ones — keep their exact historical bytes.
+    if (!opts.coreCounts.empty() || !opts.topologies.empty() ||
+        !opts.traffics.empty()) {
+        os << "  \"fabric\": {\"cores\": [";
+        first = true;
+        for (unsigned c : opts.coreCounts) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << c;
+        }
+        os << "], \"topologies\": [";
+        first = true;
+        for (const std::string &t : opts.topologies) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << jsonQuote(t);
+        }
+        os << "], \"traffics\": [";
+        first = true;
+        for (const std::string &t : opts.traffics) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << jsonQuote(t);
+        }
+        os << "]},\n";
+    }
+
     if (opts.shard.active())
         os << "  \"shard\": {\"index\": " << opts.shard.index
            << ", \"count\": " << opts.shard.count << "},\n";

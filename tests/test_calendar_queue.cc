@@ -17,6 +17,7 @@
 #include <tuple>
 #include <vector>
 
+#include "core/channel.hh"
 #include "sim/clock_domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -254,6 +255,99 @@ TEST(EngineEquivalence, MidTickTickerChurnIdentical)
     const auto heap = run(QueueEngine::heap);
     ASSERT_GT(cal.size(), 30u);
     EXPECT_EQ(cal, heap);
+}
+
+TEST(EngineEquivalence, CrossDomainChannelFanInFanOutIdentical)
+{
+    // The fabric-shaped workload: three producer domains fan into a
+    // hub domain through async FIFOs (the inter-core link pattern of
+    // fabric/system.cc), the hub routes each item onward to one of
+    // two sink domains, and every so often a mid-flight squash rips
+    // items out of an in-flight link — exactly what a pipeline flush
+    // does to an inter-core channel. Six domains with pairwise
+    // mismatched periods and phases; the full pop log (value, tick)
+    // plus the squash accounting must be byte-identical across
+    // engines and across seeds.
+    auto run = [](QueueEngine engine, std::uint64_t seed) {
+        EventQueue eq("fabric", engine);
+        ClockDomain p0(eq, "p0", 1000), p1(eq, "p1", 1300, 250),
+            p2(eq, "p2", 1700, 600);
+        ClockDomain hub(eq, "hub", 900, 100);
+        ClockDomain s0(eq, "s0", 1100, 40), s1(eq, "s1", 701, 7);
+        ClockDomain *prods[] = {&p0, &p1, &p2};
+
+        std::vector<std::unique_ptr<Channel<int>>> in, out;
+        for (int i = 0; i < 3; ++i)
+            in.push_back(std::make_unique<Channel<int>>(
+                "in" + std::to_string(i), ChannelMode::asyncFifo,
+                *prods[i], hub, 8, 2, false));
+        ClockDomain *sinks[] = {&s0, &s1};
+        for (int j = 0; j < 2; ++j)
+            out.push_back(std::make_unique<Channel<int>>(
+                "out" + std::to_string(j), ChannelMode::asyncFifo,
+                hub, *sinks[j], 8, 2, false));
+
+        std::vector<std::pair<int, Tick>> log;
+        std::uint64_t squashed = 0;
+
+        std::vector<Rng> prodRng;
+        std::vector<int> sent(3, 0);
+        for (int i = 0; i < 3; ++i)
+            prodRng.emplace_back(seed * 31 + i);
+        for (int i = 0; i < 3; ++i)
+            prods[i]->addTicker([&, i] {
+                if (prodRng[i].chance(0.7) && in[i]->canPush())
+                    in[i]->push(i * 1000000 + sent[i]++);
+            });
+
+        int hubEdges = 0;
+        hub.addTicker([&] {
+            // Fixed ascending-source drain order with per-port
+            // backpressure — the NIC discipline.
+            for (int i = 0; i < 3; ++i)
+                while (!in[i]->empty()) {
+                    const int v = in[i]->front();
+                    Channel<int> &hop = *out[v % 2];
+                    if (hop.full())
+                        break;
+                    hop.push(v);
+                    in[i]->pop();
+                }
+            // Mid-flight squash on a rotating link every 7 hub
+            // edges: items still inside the FIFO (including ones not
+            // yet visible through the synchronizer) vanish, survivors
+            // keep their order.
+            if (++hubEdges % 7 == 0)
+                squashed += in[hubEdges / 7 % 3]->squash(
+                    [](int v) { return v % 3 == 0; });
+        });
+
+        for (int j = 0; j < 2; ++j)
+            sinks[j]->addTicker([&, j] {
+                while (!out[j]->empty()) {
+                    log.emplace_back(out[j]->front(), eq.now());
+                    out[j]->pop();
+                }
+            });
+
+        for (ClockDomain *d : {&p0, &p1, &p2, &hub, &s0, &s1})
+            d->start();
+        eq.runUntil(300000);
+        for (ClockDomain *d : {&p0, &p1, &p2, &hub, &s0, &s1})
+            d->stop();
+        eq.runAll();
+        log.emplace_back(static_cast<int>(squashed), 0);
+        return log;
+    };
+
+    for (std::uint64_t seed : {1ull, 9ull, 0xfab41cull}) {
+        const auto cal = run(QueueEngine::calendar, seed);
+        const auto heap = run(QueueEngine::heap, seed);
+        ASSERT_GT(cal.size(), 200u) << "seed " << seed;
+        EXPECT_GT(cal.back().first, 0) << "no squashes, seed "
+                                       << seed;
+        EXPECT_EQ(cal, heap) << "seed " << seed;
+    }
 }
 
 TEST(CalendarQueue, ResizeGrowsAndShrinksWithPopulation)

@@ -204,6 +204,37 @@ TEST(AsyncChannel, SquashKeepsSurvivorsInOrder)
     EXPECT_EQ(got, (std::vector<int>{0, 2, 4}));
 }
 
+TEST(AsyncChannel, MidFlightSquashOnInterCoreLink)
+{
+    // Inter-core link shape (fabric/system.cc): non-streaming FIFO
+    // between two cores' mismatched-period domains. A squash must
+    // also remove items still crossing the synchronizer (pushed but
+    // not yet visible) — the remote half of a pipeline flush — and
+    // the consumer must never observe them afterwards.
+    Harness h(1000, 1300, 500);
+    Channel<int> ch("link", ChannelMode::asyncFifo, h.prod, h.cons, 8,
+                    2, false);
+    h.prod.start();
+    h.cons.start();
+    h.eq.runUntil(0);
+    ch.push(1);
+    ch.push(2);
+    ch.push(3);
+    // Nothing is visible yet; the squash reaches into the raw FIFO.
+    EXPECT_TRUE(ch.empty());
+    EXPECT_EQ(ch.squash([](int v) { return v % 2 == 0; }), 1u);
+    std::vector<int> got;
+    for (Tick t = 0; t <= 20000; t += 100) {
+        h.eq.runUntil(t);
+        while (!ch.empty()) {
+            got.push_back(ch.front());
+            ch.pop();
+        }
+    }
+    EXPECT_EQ(got, (std::vector<int>{1, 3}));
+    EXPECT_EQ(ch.squashedItems(), 1u);
+}
+
 TEST(Channel, ResidencyAccounting)
 {
     Harness h(1000, 1000);

@@ -594,6 +594,39 @@ TEST(Manifest, ConfigHashDistinguishesRuns)
               runConfigHash(std::vector<RunConfig>{a, a}));
 }
 
+TEST(Manifest, ConfigHashPinnedForPreFabricConfigs)
+{
+    // Byte-stability pin: archived sweep manifests (the CI
+    // verify-archive artifacts from earlier PRs) replay through
+    // --verify by comparing these exact hash values. The fabric
+    // fields may extend the hash only behind fabric.active(); if
+    // this test fails, the change broke every archived manifest.
+    RunConfig cfg;
+    cfg.benchmark = "gcc";
+    EXPECT_EQ(runConfigHash(cfg), 0xf908c34edfbbcd09ull);
+    cfg.instructions = 50000;
+    EXPECT_EQ(runConfigHash(cfg), 0x465975452ebb9273ull);
+
+    // An inert fabric config (cores == 1) must not perturb the hash,
+    // whatever its other fields say.
+    RunConfig inert = cfg;
+    inert.fabric.traffic = "incast";
+    inert.fabric.trafficWindow = 2;
+    EXPECT_EQ(runConfigHash(inert), runConfigHash(cfg));
+
+    // An active one must: the fabric axes are part of the sweep
+    // identity for multi-core points.
+    RunConfig active = cfg;
+    active.fabric.cores = 4;
+    EXPECT_NE(runConfigHash(active), runConfigHash(cfg));
+    RunConfig mesh = active;
+    mesh.fabric.topology = TopologyKind::mesh2d;
+    EXPECT_NE(runConfigHash(mesh), runConfigHash(active));
+    RunConfig hot = active;
+    hot.fabric.traffic = "hotspot:1";
+    EXPECT_NE(runConfigHash(hot), runConfigHash(active));
+}
+
 TEST(Trajectory, CsvHeaderDeferredPastEmptyGrids)
 {
     // A literature-only scenario (empty grid) appended first must

@@ -1,31 +1,39 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON result files by median time.
+"""Compare two benchmark result files and print a delta table.
 
-Usage: compare_bench.py BASELINE.json CURRENT.json
+Usage: compare_bench.py BASELINE CURRENT
 
-Both files are expected to come from
+Two input formats are auto-detected per file:
 
-  galsmicro --benchmark_repetitions=5 \
-            --benchmark_report_aggregates_only=true \
-            --benchmark_format=json --benchmark_out=...
+* google-benchmark JSON (a single object with a "benchmarks" array),
+  as produced by
 
-Prints a per-benchmark table of median real time (baseline vs current,
-with the speedup factor) plus benchmarks that appear on only one side,
-so the CI perf-trajectory step can surface deltas between consecutive
-runs. Comparison output is informational: the exit code is 0 whenever
-both inputs parse, regardless of regressions (gating perf on shared CI
-runners would be noise-bound; the numbers are for humans reading the
-log).
+    galsmicro --benchmark_repetitions=5 \
+              --benchmark_report_aggregates_only=true \
+              --benchmark_format=json --benchmark_out=...
+
+  Compared metric: median real time per benchmark.
+
+* sweep trajectory JSONL (one record object per line, as written by
+  galsbench --output). Compared metric: simulated "ticks" per record,
+  keyed by scenario/index/benchmark/seed. Ticks are deterministic, so
+  any delta is a real behavior change in the simulated machine, not
+  runner noise.
+
+Prints a per-entry table of baseline vs current (with the ratio) plus
+entries that appear on only one side, so the CI perf-trajectory step
+can surface deltas between consecutive runs. Comparison output is
+informational: the exit code is 0 whenever both inputs parse,
+regardless of regressions (gating perf on shared CI runners would be
+noise-bound; the numbers are for humans reading the log).
 """
 
 import json
 import sys
 
 
-def medians(path):
+def medians(data):
     """name -> (real_time, time_unit) for every *_median aggregate."""
-    with open(path) as f:
-        data = json.load(f)
     out = {}
     for b in data.get("benchmarks", []):
         if b.get("aggregate_name") != "median":
@@ -37,21 +45,50 @@ def medians(path):
     return out
 
 
+def trajectory_ticks(lines):
+    """record key -> (ticks, "tk") for every trajectory record."""
+    out = {}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        r = json.loads(line)
+        key = "{}[{}] {} seed={}{}".format(
+            r.get("scenario", "?"), r.get("index", "?"),
+            r.get("benchmark", "?"), r.get("seed", "?"),
+            " gals" if r.get("gals") else "")
+        out[key] = (float(r["ticks"]), "tk")
+    return out
+
+
+def load(path):
+    """Return the metric map for either supported format."""
+    with open(path) as f:
+        text = f.read()
+    try:
+        data = json.loads(text)
+    except ValueError:
+        data = None
+    if isinstance(data, dict) and "benchmarks" in data:
+        return medians(data)
+    return trajectory_ticks(text.splitlines())
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
     try:
-        base = medians(argv[1])
-        cur = medians(argv[2])
+        base = load(argv[1])
+        cur = load(argv[2])
     except (OSError, ValueError, KeyError) as e:
         print(f"compare_bench: cannot read inputs: {e}", file=sys.stderr)
         return 1
 
     if not base or not cur:
-        print("compare_bench: no median aggregates found "
-              "(need --benchmark_repetitions with aggregates)",
+        print("compare_bench: no comparable entries found "
+              "(need median aggregates or trajectory records)",
               file=sys.stderr)
         return 1
 
