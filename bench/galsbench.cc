@@ -10,9 +10,13 @@
  * records.
  *
  * Sweeps are archivable: `--output PATH` streams every per-run record
- * into a trajectory file (JSON-lines, or CSV when PATH ends in .csv)
- * and `--manifest PATH` writes a run manifest (engine, seeds, config
+ * into a trajectory file (JSON-lines, CSV when PATH ends in .csv, or
+ * the compact binary gtrj format when it ends in .gtrj — `galsbench
+ * parse` converts the latter back to the exact text bytes) and
+ * `--manifest PATH` writes a run manifest (engine, seeds, config
  * hashes); both are byte-identical for any `--jobs` on any machine.
+ * `--interval-ticks K` additionally samples per-interval meters (IPC,
+ * per-domain energy, FIFO occupancy) every K ticks into each record.
  * `--seeds N` / `--seed-list a,b,c` replicate every grid point across
  * workload seeds, and the table/JSON/CSV reports then carry
  * mean ± 95% CI columns (per-replica rows stay in the trajectory).
@@ -57,10 +61,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -70,6 +76,7 @@
 #include "fabric/fabric_config.hh"
 #include "runner/engine.hh"
 #include "runner/fault.hh"
+#include "runner/gtrj.hh"
 #include "runner/merge.hh"
 #include "runner/orchestrator.hh"
 #include "runner/reporter.hh"
@@ -96,13 +103,15 @@ usage(std::FILE *to, int exitCode)
         "                 [--seeds N | --seed-list a,b,c]\n"
         "                 [--shard I/N]\n"
         "                 [--cores A,B,...] [--topology T,...]\n"
-        "                 [--traffic P,...]\n"
+        "                 [--traffic P,...] [--interval-ticks K]\n"
         "                 [--output PATH] [--manifest PATH]\n"
         "                 [--engine calendar|heap]\n"
         "       galsbench --merge SHARD... --output PATH\n"
         "                 [--merge-manifest SHARD... --manifest "
         "PATH]\n"
         "       galsbench --verify MANIFEST [--jobs N]\n"
+        "       galsbench parse INPUT.gtrj [--format json|csv]\n"
+        "                 [--output PATH]\n"
         "       galsbench dispatch (--scenario NAME)... | --all\n"
         "                 --output PATH [--manifest PATH]\n"
         "                 [--slices M] [--workers W] [--worker-jobs "
@@ -111,7 +120,7 @@ usage(std::FILE *to, int exitCode)
         "                 [--seeds N | --seed-list a,b,c] [--engine "
         "E]\n"
         "                 [--cores A,B,...] [--topology T,...]\n"
-        "                 [--traffic P,...]\n"
+        "                 [--traffic P,...] [--interval-ticks K]\n"
         "                 [--retries N] [--backoff-ms N]\n"
         "                 [--backoff-cap-ms N] [--straggler-factor "
         "X]\n"
@@ -150,8 +159,14 @@ usage(std::FILE *to, int exitCode)
         "                  none, permutation, uniform, incast,\n"
         "                  hotspot[:K] (comma-separated)\n"
         "  --output PATH   append every per-run record to a\n"
-        "                  trajectory file: JSON-lines, or CSV when\n"
-        "                  PATH ends in .csv\n"
+        "                  trajectory file; the extension picks the\n"
+        "                  format: .jsonl/.json (JSON lines), .csv,\n"
+        "                  or .gtrj (compact binary; `galsbench\n"
+        "                  parse` converts it back to text)\n"
+        "  --interval-ticks K\n"
+        "                  sample per-interval meters every K ticks\n"
+        "                  (IPC, per-domain energy, FIFO occupancy);\n"
+        "                  records gain an \"intervals\" time-series\n"
         "  --manifest PATH write a run manifest (version, engine,\n"
         "                  seeds, shard, per-scenario config hashes)\n"
         "  --merge F...    merge shard trajectory files into the\n"
@@ -163,6 +178,10 @@ usage(std::FILE *to, int exitCode)
         "                  compare the regenerated trajectory against\n"
         "                  the archived one; non-zero exit on any\n"
         "                  difference\n"
+        "  parse INPUT     convert a .gtrj binary trajectory to the\n"
+        "                  exact JSON-lines (default) or CSV bytes a\n"
+        "                  native text run would have written, to\n"
+        "                  --output PATH or stdout\n"
         "  --engine E      event-queue engine: calendar (default) or\n"
         "                  heap (A/B baseline; or GALSSIM_ENGINE).\n"
         "                  Results are identical for either.\n"
@@ -436,6 +455,22 @@ engineValue(const char *source, const char *name)
     return QueueEngine::calendar; // unreachable
 }
 
+/** Strict --output extension check, matching the --engine style:
+ *  an unknown extension is a usage error (exit 2), so a typo'd path
+ *  cannot silently become a JSON-lines file nobody asked for. */
+void
+checkOutputPath(const std::string &path)
+{
+    TrajectoryFormat format;
+    if (!trajectoryFormatForCliPath(path, format)) {
+        std::fprintf(stderr,
+                     "galsbench: --output expects a .jsonl, .json, "
+                     ".csv or .gtrj path, got '%s'\n",
+                     path.c_str());
+        usage(stderr, 2);
+    }
+}
+
 /** Parse a positive decimal double (for --straggler-factor). */
 double
 doubleValue(const char *flag, const char *text)
@@ -534,6 +569,15 @@ dispatchMain(int argc, char **argv, const ScenarioRegistry &registry)
         } else if (!std::strcmp(arg, "--traffic")) {
             opts.sweep.traffics =
                 trafficListValue(argValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--interval-ticks")) {
+            opts.sweep.intervalTicks = numericValue(
+                "--interval-ticks", argValue(argc, argv, i));
+            if (opts.sweep.intervalTicks == 0) {
+                std::fprintf(stderr,
+                             "galsbench: --interval-ticks must be "
+                             "> 0\n");
+                return 2;
+            }
         } else if (!std::strcmp(arg, "--engine")) {
             opts.engineName = queueEngineName(engineValue(
                 "--engine", argValue(argc, argv, i)));
@@ -631,9 +675,107 @@ dispatchMain(int argc, char **argv, const ScenarioRegistry &registry)
                      "pass --worker-binary PATH\n");
         return 2;
     }
+    checkOutputPath(opts.outputPath);
 
     DispatchReport report;
     return runDispatch(registry, opts, std::cerr, &report) ? 0 : 1;
+}
+
+/**
+ * `galsbench parse INPUT.gtrj ...`: offline conversion of a binary
+ * trajectory back to the exact text a native text-format run of the
+ * same sweep writes — JSON lines byte-identical to `--output
+ * foo.jsonl` (CSV likewise) — so binary archives stay greppable and
+ * diffable without re-simulating anything.
+ */
+int
+parseMain(int argc, char **argv)
+{
+    std::string inputPath, outputPath;
+    bool csv = false;
+    for (int i = 2; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--format")) {
+            const char *v = argValue(argc, argv, i);
+            if (!std::strcmp(v, "json")) {
+                csv = false;
+            } else if (!std::strcmp(v, "csv")) {
+                csv = true;
+            } else {
+                std::fprintf(stderr,
+                             "galsbench: parse --format expects "
+                             "'json' or 'csv', got '%s'\n",
+                             v);
+                usage(stderr, 2);
+            }
+        } else if (!std::strcmp(arg, "--output")) {
+            outputPath = argValue(argc, argv, i);
+        } else if (!std::strcmp(arg, "--help") ||
+                   !std::strcmp(arg, "-h")) {
+            usage(stdout, 0);
+        } else if (!std::strncmp(arg, "--", 2)) {
+            std::fprintf(stderr,
+                         "galsbench: unknown parse argument '%s'\n",
+                         arg);
+            usage(stderr, 2);
+        } else if (inputPath.empty()) {
+            inputPath = arg;
+        } else {
+            std::fprintf(stderr,
+                         "galsbench: parse takes one input file, got "
+                         "'%s' and '%s'\n",
+                         inputPath.c_str(), arg);
+            usage(stderr, 2);
+        }
+    }
+    if (inputPath.empty()) {
+        std::fprintf(stderr,
+                     "galsbench: parse needs an input .gtrj file\n");
+        usage(stderr, 2);
+    }
+
+    std::ifstream is(inputPath, std::ios::in | std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "galsbench: cannot open '%s'\n",
+                     inputPath.c_str());
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (is.bad()) {
+        std::fprintf(stderr, "galsbench: error reading '%s'\n",
+                     inputPath.c_str());
+        return 1;
+    }
+
+    std::string out, err;
+    const bool ok = csv ? gtrj::toCsv(buf.str(), out, err)
+                        : gtrj::toJsonLines(buf.str(), out, err);
+    if (!ok) {
+        std::fprintf(stderr, "galsbench: parse: %s: %s\n",
+                     inputPath.c_str(), err.c_str());
+        return 1;
+    }
+
+    if (outputPath.empty()) {
+        std::cout << out;
+        return stdoutExitCode();
+    }
+    std::ofstream os(outputPath, std::ios::out | std::ios::trunc |
+                                     std::ios::binary);
+    if (os)
+        os.write(out.data(),
+                 static_cast<std::streamsize>(out.size()));
+    os.flush();
+    if (!os) {
+        // A truncated conversion must not pass for the real thing in
+        // a later byte-compare.
+        std::fprintf(stderr, "galsbench: error writing '%s'\n",
+                     outputPath.c_str());
+        std::remove(outputPath.c_str());
+        return 1;
+    }
+    return 0;
 }
 
 /**
@@ -701,6 +843,8 @@ main(int argc, char **argv)
 
     if (argc >= 2 && !std::strcmp(argv[1], "dispatch"))
         return dispatchMain(argc, argv, registry);
+    if (argc >= 2 && !std::strcmp(argv[1], "parse"))
+        return parseMain(argc, argv);
 
     std::vector<std::string> selected, cliBenchmarks;
     std::vector<std::string> mergeFiles, mergeManifestFiles;
@@ -773,6 +917,16 @@ main(int argc, char **argv)
             opts.traffics =
                 trafficListValue(argValue(argc, argv, i));
             sweepFlags.push_back("--traffic");
+        } else if (!std::strcmp(arg, "--interval-ticks")) {
+            opts.intervalTicks = numericValue(
+                "--interval-ticks", argValue(argc, argv, i));
+            sweepFlags.push_back("--interval-ticks");
+            if (opts.intervalTicks == 0) {
+                std::fprintf(stderr,
+                             "galsbench: --interval-ticks must be "
+                             "> 0\n");
+                return 2;
+            }
         } else if (!std::strcmp(arg, "--merge")) {
             fileListValue("--merge", argc, argv, i, mergeFiles);
         } else if (!std::strcmp(arg, "--merge-manifest")) {
@@ -823,13 +977,16 @@ main(int argc, char **argv)
 
     if (cliFault.active())
         setFaultPlan(cliFault);
+    if (!outputPath.empty())
+        checkOutputPath(outputPath);
     if (resumeSkip > 0 &&
         (!opts.shard.active() || outputPath.empty() ||
-         trajectoryFormatForPath(outputPath) !=
-             TrajectoryFormat::jsonLines)) {
+         trajectoryFormatForPath(outputPath) ==
+             TrajectoryFormat::csv)) {
         std::fprintf(stderr,
                      "galsbench: --resume-skip only applies to a "
-                     "--shard run with a JSON-lines --output\n");
+                     "--shard run with a JSON-lines or gtrj "
+                     "--output\n");
         return 2;
     }
 
@@ -1040,10 +1197,11 @@ main(int argc, char **argv)
             const std::vector<RunConfig> shardRuns =
                 selectRuns(runs, indices);
             if (sink) {
-                if (sink->format() == TrajectoryFormat::jsonLines) {
-                    // Stream + flush record by record: this is what
-                    // lets `galsbench dispatch` lose at most one
-                    // record to a killed worker.
+                if (sink->format() != TrajectoryFormat::csv) {
+                    // Stream + flush record by record (JSON lines or
+                    // gtrj frames — both are self-delimiting): this
+                    // is what lets `galsbench dispatch` lose at most
+                    // one record to a killed worker.
                     const std::size_t skip =
                         std::min<std::uint64_t>(skipLeft,
                                                 shardRuns.size());

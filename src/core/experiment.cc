@@ -6,6 +6,7 @@
 #include "dvfs/controller.hh"
 #include "fabric/system.hh"
 #include "sim/logging.hh"
+#include "sim/meter.hh"
 
 namespace gals
 {
@@ -34,7 +35,7 @@ shardRunIndices(std::size_t total, const ShardSpec &shard)
 const char *
 galssimVersion()
 {
-    return "0.3.0";
+    return "0.4.0";
 }
 
 namespace
@@ -78,6 +79,75 @@ struct CanonicalHash
         for (char c : s)
             byte(static_cast<unsigned char>(c));
     }
+};
+
+/**
+ * The `--interval-ticks` sampler: every K ticks, record the
+ * interval's committed count / IPC, the per-domain energy delta and
+ * the instantaneous inter-domain FIFO occupancy. Read-only over the
+ * processor, so the headline metrics of a metered run equal the
+ * unmetered ones.
+ */
+class RunMeter final : public PeriodicMeter
+{
+  public:
+    RunMeter(EventQueue &eq, Processor &proc, Tick intervalTicks)
+        : PeriodicMeter(eq, "meter", intervalTicks), proc_(proc)
+    {
+    }
+
+    std::vector<IntervalSample> takeSamples()
+    {
+        return std::move(samples_);
+    }
+
+  protected:
+    void
+    sampleInterval(std::uint64_t, Tick now) override
+    {
+        IntervalSample s;
+        s.tick = now;
+
+        const std::uint64_t committed =
+            proc_.decodeUnit().commitStats().committed;
+        s.committed = committed - lastCommitted_;
+        lastCommitted_ = committed;
+        const double cycles =
+            static_cast<double>(intervalTicks()) /
+            static_cast<double>(proc_.config().nominalPeriod);
+        s.ipc = cycles > 0.0 ? s.committed / cycles : 0.0;
+
+        // Per-domain energy via the unit -> domain map; deltas
+        // against the previous sample.
+        std::array<double, numDomains> energy{};
+        for (unsigned i = 0; i < numUnits; ++i) {
+            const Unit u = static_cast<Unit>(i);
+            energy[domainIndex(unitDomain(u))] +=
+                proc_.energy().unitEnergyNj(u);
+        }
+        for (unsigned d = 0; d < numDomains; ++d) {
+            s.energyNj[d] = energy[d] - lastEnergyNj_[d];
+            lastEnergyNj_[d] = energy[d];
+        }
+
+        // Instantaneous occupancy: items pushed but neither popped
+        // nor squashed yet, over every inter-region channel.
+        std::uint64_t occ = 0;
+        for (const ChannelBase *ch : proc_.channels()) {
+            const std::uint64_t out =
+                ch->pops() + ch->squashedItems();
+            occ += ch->pushes() > out ? ch->pushes() - out : 0;
+        }
+        s.fifoOcc = occ;
+
+        samples_.push_back(s);
+    }
+
+  private:
+    Processor &proc_;
+    std::uint64_t lastCommitted_ = 0;
+    std::array<double, numDomains> lastEnergyNj_{};
+    std::vector<IntervalSample> samples_;
 };
 
 } // namespace
@@ -131,6 +201,13 @@ runConfigHash(const RunConfig &cfg)
         hash.u64(fab.linkFifoCapacity);
         hash.u64(fab.trafficInterval);
         hash.u64(fab.trafficWindow);
+    }
+
+    // Interval meter, gated like the fabric axes: a disabled meter
+    // (the default) leaves every archived hash untouched.
+    if (cfg.intervalTicks > 0) {
+        hash.str("meter");
+        hash.u64(cfg.intervalTicks);
     }
     return hash.h;
 }
@@ -238,11 +315,25 @@ runOne(const RunConfig &cfg)
         ctrl->start();
     }
 
+    // The interval meter samples on its own clock domain and only
+    // reads processor state, so its presence never perturbs the run.
+    std::unique_ptr<RunMeter> meter;
+    if (cfg.intervalTicks > 0) {
+        meter = std::make_unique<RunMeter>(eq, proc,
+                                           cfg.intervalTicks);
+        meter->start();
+    }
+
     proc.run(cfg.instructions);
     if (ctrl)
         ctrl->stop();
+    if (meter)
+        meter->stop();
 
-    return extractRunResults(proc, cfg);
+    RunResults r = extractRunResults(proc, cfg);
+    if (meter)
+        r.intervals = meter->takeSamples();
+    return r;
 }
 
 std::vector<RunResults>

@@ -8,6 +8,7 @@
 #ifndef CORE_EXPERIMENT_HH
 #define CORE_EXPERIMENT_HH
 
+#include <array>
 #include <map>
 #include <string>
 #include <vector>
@@ -46,6 +47,13 @@ struct RunConfig
     /** Multi-core fabric axes; inert (and unhashed) at cores == 1, so
      *  every pre-fabric config keeps its archived hash. */
     FabricConfig fabric;
+    /** Interval-meter period in ticks (`--interval-ticks K`): sample
+     *  IPC / per-domain energy / FIFO occupancy every K ticks into
+     *  RunResults::intervals. 0 (the default) disables the meter and
+     *  — like the fabric axes — keeps the config unhashed, so every
+     *  pre-meter config keeps its archived hash. Applies to the
+     *  single-core path; fabric runs record no samples. */
+    std::uint64_t intervalTicks = 0;
 };
 
 /**
@@ -72,6 +80,27 @@ struct CoreResults
     std::uint64_t remoteStallCycles = 0; ///< fetch cycles blocked on
                                          ///< the completion window
     double avgRemoteLatencyCycles = 0.0; ///< request round trip
+};
+
+/**
+ * One interval-meter sample (RunConfig::intervalTicks > 0): the
+ * in-run time series behind the phase-aware DVFS work. Counters are
+ * per-interval deltas, the FIFO occupancy is the instantaneous sum at
+ * the sample edge.
+ */
+struct IntervalSample
+{
+    Tick tick = 0;              ///< sample time (K, 2K, ...)
+    std::uint64_t committed = 0; ///< instructions committed this
+                                 ///< interval
+    double ipc = 0.0;            ///< committed per nominal cycle of
+                                 ///< this interval
+    /** Energy charged this interval, per clock domain (domainIndex
+     *  order), nJ. */
+    std::array<double, numDomains> energyNj{};
+    /** Items resident in the inter-domain FIFOs at the sample edge
+     *  (sum of pushes - pops over every channel). */
+    std::uint64_t fifoOcc = 0;
 };
 
 /** Everything measured in one run. */
@@ -127,6 +156,10 @@ struct RunResults
     /** Per-core breakdown; non-empty only for fabric (cores > 1)
      *  runs. The scalar metrics above are the system aggregates. */
     std::vector<CoreResults> cores;
+
+    /** Interval-meter time series; non-empty only when
+     *  RunConfig::intervalTicks > 0 on the single-core path. */
+    std::vector<IntervalSample> intervals;
 };
 
 /**

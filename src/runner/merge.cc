@@ -11,6 +11,7 @@
 
 #include "runner/atomic_file.hh"
 #include "runner/engine.hh"
+#include "runner/gtrj.hh"
 #include "runner/json.hh"
 #include "runner/scenario.hh"
 #include "runner/trajectory.hh"
@@ -315,6 +316,12 @@ readManifest(const std::string &path, ParsedManifest &out,
         }
     }
 
+    if (const json::Value *ivl = v.find("interval_ticks")) {
+        if (!ivl->asU64(out.opts.intervalTicks) ||
+            out.opts.intervalTicks == 0)
+            return fail("malformed interval_ticks");
+    }
+
     if (const json::Value *shard = v.find("shard")) {
         const json::Value *idx = shard->find("index");
         const json::Value *cnt = shard->find("count");
@@ -422,13 +429,105 @@ mergeTrajectories(const std::vector<std::string> &shardFiles,
             diag << "merge: " << err << "\n";
             return false;
         }
-        std::vector<std::string> lines = splitLines(text);
         scenarioSeqs.emplace_back();
         indexSeqs.emplace_back();
         std::vector<std::string> &seq = scenarioSeqs.back();
         std::vector<std::vector<std::uint64_t>> &idx =
             indexSeqs.back();
 
+        // Per-record admission shared by every format: cross-file
+        // instruction consistency, per-file scenario contiguity and
+        // strictly-ascending indices. @p where names the record
+        // ("file:line" / "file record N") for diagnostics.
+        const auto admit = [&](Record &&rec,
+                               std::uint64_t instructions,
+                               const std::string &where) -> bool {
+            // Shards of one sweep share one instruction budget per
+            // scenario; a disagreement means the inputs come from
+            // different sweeps and must not fuse.
+            const auto [it, inserted] = instsByScenario.emplace(
+                rec.scenario, instructions);
+            if (!inserted && it->second != instructions) {
+                diag << "merge: " << where << ": scenario '"
+                     << rec.scenario
+                     << "' records disagree on instructions ("
+                     << it->second << " vs " << instructions
+                     << ") — shard files from different sweeps?\n";
+                return false;
+            }
+            if (seq.empty() || seq.back() != rec.scenario) {
+                // A scenario's records are contiguous per file; a
+                // reappearance means the file is not a shard
+                // trajectory.
+                if (std::find(seq.begin(), seq.end(),
+                              rec.scenario) != seq.end()) {
+                    diag << "merge: " << where << ": scenario '"
+                         << rec.scenario
+                         << "' records are not contiguous\n";
+                    return false;
+                }
+                seq.push_back(rec.scenario);
+                idx.emplace_back();
+            }
+            if (!idx.back().empty() &&
+                idx.back().back() >= rec.index) {
+                diag << "merge: " << where
+                     << ": indices not strictly ascending (not a "
+                        "shard trajectory?)\n";
+                return false;
+            }
+            idx.back().push_back(rec.index);
+            records.push_back(std::move(rec));
+            return true;
+        };
+
+        if (format == TrajectoryFormat::gtrj) {
+            // Binary shard: walk the frames, keeping each record's
+            // raw bytes (length prefix + payload) so the merge
+            // re-emits them untouched — frames are stateless, so the
+            // merged file equals the unsharded run's byte-for-byte.
+            std::size_t pos = 0;
+            if (!gtrj::readHeader(text, pos, err)) {
+                diag << "merge: " << path << ": " << err << "\n";
+                return false;
+            }
+            std::size_t recNo = 0;
+            for (;;) {
+                const std::size_t frameStart = pos;
+                std::string_view payload;
+                const gtrj::FrameStatus st =
+                    gtrj::nextFrame(text, pos, payload, err);
+                if (st == gtrj::FrameStatus::eof)
+                    break;
+                if (st == gtrj::FrameStatus::torn) {
+                    // Torn tails are the orchestrator's business
+                    // (resume salvage); merge inputs are finished
+                    // slices and must be intact.
+                    diag << "merge: " << path << ": " << err
+                         << "\n";
+                    return false;
+                }
+                ++recNo;
+                gtrj::DecodedRecord dec;
+                if (!gtrj::decodePayload(payload, dec, err)) {
+                    diag << "merge: " << path << " record " << recNo
+                         << ": " << err << "\n";
+                    return false;
+                }
+                Record rec;
+                rec.scenario = dec.scenario;
+                rec.index = dec.index;
+                rec.line =
+                    text.substr(frameStart, pos - frameStart);
+                if (!admit(std::move(rec), dec.cfg.instructions,
+                           path + " record " +
+                               std::to_string(recNo)))
+                    return false;
+            }
+            continue;
+        }
+
+        std::vector<std::string> lines = splitLines(text);
         std::size_t lineNo = 0;
         for (std::string &line : lines) {
             ++lineNo;
@@ -457,43 +556,10 @@ mergeTrajectories(const std::vector<std::string> &shardFiles,
                      << err << "\n";
                 return false;
             }
-            // Shards of one sweep share one instruction budget per
-            // scenario; a disagreement means the inputs come from
-            // different sweeps and must not fuse.
-            const auto [it, inserted] = instsByScenario.emplace(
-                rec.scenario, instructions);
-            if (!inserted && it->second != instructions) {
-                diag << "merge: " << path << ":" << lineNo
-                     << ": scenario '" << rec.scenario
-                     << "' records disagree on instructions ("
-                     << it->second << " vs " << instructions
-                     << ") — shard files from different sweeps?\n";
-                return false;
-            }
-            if (seq.empty() || seq.back() != rec.scenario) {
-                // A scenario's records are contiguous per file; a
-                // reappearance means the file is not a shard
-                // trajectory.
-                if (std::find(seq.begin(), seq.end(),
-                              rec.scenario) != seq.end()) {
-                    diag << "merge: " << path << ":" << lineNo
-                         << ": scenario '" << rec.scenario
-                         << "' records are not contiguous\n";
-                    return false;
-                }
-                seq.push_back(rec.scenario);
-                idx.emplace_back();
-            }
-            if (!idx.back().empty() &&
-                idx.back().back() >= rec.index) {
-                diag << "merge: " << path << ":" << lineNo
-                     << ": indices not strictly ascending (not a "
-                        "shard trajectory?)\n";
-                return false;
-            }
-            idx.back().push_back(rec.index);
             rec.line = std::move(line);
-            records.push_back(std::move(rec));
+            if (!admit(std::move(rec), instructions,
+                       path + ":" + std::to_string(lineNo)))
+                return false;
         }
     }
 
@@ -638,10 +704,20 @@ mergeTrajectories(const std::vector<std::string> &shardFiles,
              << "' for writing\n";
         return false;
     }
-    if (format == TrajectoryFormat::csv && !header.empty())
-        os << header << "\n";
-    for (const Record &rec : records)
-        os << rec.line << "\n";
+    if (format == TrajectoryFormat::gtrj) {
+        // Raw frames, no separators: the header then each record's
+        // own frame bytes, byte-equal to an unsharded sink.
+        const std::string &h = gtrj::fileHeader();
+        os.write(h.data(), static_cast<std::streamsize>(h.size()));
+        for (const Record &rec : records)
+            os.write(rec.line.data(),
+                     static_cast<std::streamsize>(rec.line.size()));
+    } else {
+        if (format == TrajectoryFormat::csv && !header.empty())
+            os << header << "\n";
+        for (const Record &rec : records)
+            os << rec.line << "\n";
+    }
     os.flush();
     if (!os) {
         // A truncated file would pass for a canonical trajectory in
@@ -717,6 +793,7 @@ mergeManifests(const std::vector<std::string> &shardFiles,
             m.opts.coreCounts != first.opts.coreCounts ||
             m.opts.topologies != first.opts.topologies ||
             m.opts.traffics != first.opts.traffics ||
+            m.opts.intervalTicks != first.opts.intervalTicks ||
             m.opts.shard.count != count ||
             !sameScenarios(m.scenarios, first.scenarios)) {
             diag << "merge-manifest: '" << shardFiles[i]
@@ -887,16 +964,45 @@ verifyManifest(const ScenarioRegistry &registry,
     const std::string actual = regen.str();
     if (expected == actual) {
         diag << "verify: OK — '" << archivePath << "' ("
-             << recordCount(splitLines(actual).size()) << " records, "
-             << actual.size()
+             << (format == TrajectoryFormat::gtrj
+                     ? gtrj::countFrames(actual)
+                     : recordCount(splitLines(actual).size()))
+             << " records, " << actual.size()
              << " bytes) is byte-identical to the replay\n";
         return true;
     }
 
-    const std::vector<std::string> expLines = splitLines(expected);
-    const std::vector<std::string> actLines = splitLines(actual);
     diag << "verify: FAILED — regenerated trajectory differs from '"
          << archivePath << "'\n";
+
+    // Line diffs over binary frames locate nothing a human can read;
+    // render both sides as JSON lines first. If either side does not
+    // even decode, fall back to the first differing byte.
+    std::string expText = expected, actText = actual;
+    if (format == TrajectoryFormat::gtrj) {
+        std::string e2, a2, derr;
+        if (!gtrj::toJsonLines(expected, e2, derr) ||
+            !gtrj::toJsonLines(actual, a2, derr)) {
+            std::size_t off = 0;
+            const std::size_t lim =
+                std::min(expected.size(), actual.size());
+            while (off < lim && expected[off] == actual[off])
+                ++off;
+            diag << "verify:   archived "
+                 << gtrj::countFrames(expected) << " frames / "
+                 << expected.size() << " bytes, replay "
+                 << gtrj::countFrames(actual) << " frames / "
+                 << actual.size()
+                 << " bytes; first differing byte at offset " << off
+                 << " (" << derr << ")\n";
+            return false;
+        }
+        expText.swap(e2);
+        actText.swap(a2);
+    }
+
+    const std::vector<std::string> expLines = splitLines(expText);
+    const std::vector<std::string> actLines = splitLines(actText);
     if (expLines.size() != actLines.size())
         diag << "verify:   archived has "
              << recordCount(expLines.size()) << " records, replay has "

@@ -16,6 +16,7 @@
 #include <unistd.h>
 
 #include "runner/atomic_file.hh"
+#include "runner/gtrj.hh"
 #include "runner/json.hh"
 #include "runner/merge.hh"
 #include "runner/reporter.hh"
@@ -171,6 +172,72 @@ DispatchTracker::allDone() const
 // ---------------------------------------------------------------------------
 // Slice-file scanning
 
+namespace
+{
+
+/** The gtrj arm of scanSliceRecords(): the valid prefix is the file
+ *  header plus the run of complete frames that decode and match the
+ *  expectation, so a resumed worker's append continues mid-file
+ *  exactly where truncate(2) cut. A torn or missing header salvages
+ *  nothing (validBytes 0 — the reopened sink writes a fresh one). */
+bool
+scanGtrjSliceRecords(const std::string &path,
+                     const std::vector<SliceExpectation> &expected,
+                     SliceScan &out, std::string &err,
+                     std::vector<RecordStat> *stats)
+{
+    std::ifstream is(path, std::ios::in | std::ios::binary);
+    if (!is) {
+        // A never-written slice scans as an empty valid prefix.
+        return true;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (is.bad()) {
+        err = "error reading '" + path + "'";
+        return false;
+    }
+    const std::string text = buf.str();
+
+    std::size_t pos = 0;
+    std::string herr;
+    if (gtrj::readHeader(text, pos, herr)) {
+        out.validBytes = pos;
+        for (std::size_t k = 0; k < expected.size(); ++k) {
+            std::string_view payload;
+            std::string ferr;
+            const gtrj::FrameStatus st =
+                gtrj::nextFrame(text, pos, payload, ferr);
+            if (st == gtrj::FrameStatus::eof)
+                break;
+            if (st == gtrj::FrameStatus::torn) {
+                out.trimmedTail = true;
+                break;
+            }
+            gtrj::DecodedRecord dec;
+            if (!gtrj::decodePayload(payload, dec, ferr) ||
+                dec.scenario != expected[k].scenario ||
+                dec.index != expected[k].index) {
+                // Corrupted or foreign record: everything from here
+                // on is untrustworthy.
+                out.trimmedTail = true;
+                break;
+            }
+            if (stats)
+                stats->push_back(
+                    {dec.results.benchmark, dec.results.timeSec});
+            out.validRecords += 1;
+            out.validBytes = pos;
+        }
+    }
+
+    if (text.size() > out.validBytes)
+        out.trimmedTail = true;
+    return true;
+}
+
+} // namespace
+
 bool
 scanSliceRecords(const std::string &path,
                  const std::vector<SliceExpectation> &expected,
@@ -178,6 +245,9 @@ scanSliceRecords(const std::string &path,
                  std::vector<RecordStat> *stats)
 {
     out = SliceScan{};
+    if (trajectoryFormatForPath(path) == TrajectoryFormat::gtrj)
+        return scanGtrjSliceRecords(path, expected, out, err,
+                                    stats);
     std::ifstream is(path, std::ios::in | std::ios::binary);
     if (!is) {
         // A never-written slice scans as an empty valid prefix.
@@ -334,6 +404,23 @@ countFileLines(const std::string &path)
     return lines;
 }
 
+/** Records currently in a slice file, for progress snapshots: lines
+ *  for the text formats, complete frames for gtrj (a torn tail just
+ *  stops the count — progress may briefly read one low, never
+ *  wrong). */
+std::size_t
+countFileRecords(const std::string &path)
+{
+    if (trajectoryFormatForPath(path) != TrajectoryFormat::gtrj)
+        return countFileLines(path);
+    std::ifstream is(path, std::ios::in | std::ios::binary);
+    if (!is)
+        return 0;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return gtrj::countFrames(buf.str());
+}
+
 } // namespace
 
 bool
@@ -348,10 +435,12 @@ runDispatch(const ScenarioRegistry &registry,
         diag << "dispatch: --output PATH is required\n";
         return false;
     }
-    if (trajectoryFormatForPath(opts.outputPath) !=
-        TrajectoryFormat::jsonLines) {
-        diag << "dispatch: --output must be a JSON-lines path "
-                "(crash-safe streaming is records-per-line)\n";
+    const TrajectoryFormat outFormat =
+        trajectoryFormatForPath(opts.outputPath);
+    if (outFormat == TrajectoryFormat::csv) {
+        diag << "dispatch: --output must be a JSON-lines or gtrj "
+                "path (crash-safe streaming appends self-delimiting "
+                "records; a CSV header cannot be resumed)\n";
         return false;
     }
     if (opts.scenarios.empty()) {
@@ -466,6 +555,9 @@ runDispatch(const ScenarioRegistry &registry,
                  << jsonQuote(opts.sweep.traffics[i]);
         plan << "]}";
     }
+    // Gated the same way: only metered sweeps mention the interval.
+    if (opts.sweep.intervalTicks > 0)
+        plan << ",\"interval_ticks\":" << opts.sweep.intervalTicks;
     plan << ",\"scenarios\":[";
     for (std::size_t i = 0; i < shapes.size(); ++i)
         plan << (i ? "," : "") << "{\"name\":"
@@ -507,7 +599,12 @@ runDispatch(const ScenarioRegistry &registry,
         SliceRuntime &rt = slices[i];
         const std::string base =
             workDir + "/slice_" + std::to_string(i + 1);
-        rt.recordsPath = base + ".jsonl";
+        // Slice files carry the output's format so the workers, the
+        // resume scan and the final merge all agree from the path
+        // alone.
+        rt.recordsPath =
+            base + (outFormat == TrajectoryFormat::gtrj ? ".gtrj"
+                                                        : ".jsonl");
         rt.manifestPath = base + ".manifest.json";
         rt.logPath = base + ".log";
         ShardSpec shard;
@@ -602,7 +699,7 @@ runDispatch(const ScenarioRegistry &registry,
             recordsDone +=
                 tracker.state(i) == SliceState::done
                     ? slices[i].expected.size()
-                    : countFileLines(slices[i].recordsPath);
+                    : countFileRecords(slices[i].recordsPath);
         const std::uint64_t elapsed = monotonicNowMs() - startMs;
         const double sec =
             static_cast<double>(elapsed) / 1000.0;
@@ -711,6 +808,11 @@ runDispatch(const ScenarioRegistry &registry,
             }
             argv.push_back("--traffic");
             argv.push_back(traffics);
+        }
+        if (opts.sweep.intervalTicks > 0) {
+            argv.push_back("--interval-ticks");
+            argv.push_back(
+                std::to_string(opts.sweep.intervalTicks));
         }
         argv.push_back("--engine");
         argv.push_back(opts.engineName);

@@ -18,10 +18,11 @@
  * Crash safety rests on three artifacts next to the output, in
  * `<output>.dispatch/`:
  *
- *  - `slice_<i>.jsonl` / `slice_<i>.manifest.json` — each worker
- *    streams records one flushed line at a time in canonical slice
- *    order, so a SIGKILL at any instant costs at most one
- *    (truncated) trailing record. The slice manifest is written
+ *  - `slice_<i>.jsonl` (or `.gtrj` for a binary output) /
+ *    `slice_<i>.manifest.json` — each worker streams records one
+ *    flushed line (or frame) at a time in canonical slice order, so
+ *    a SIGKILL at any instant costs at most one (truncated) trailing
+ *    record. The slice manifest is written
  *    atomically after the last record, so its existence marks the
  *    slice complete.
  *  - `journal.jsonl` — append-only state-transition journal. Its
@@ -199,12 +200,14 @@ struct SliceScan
 /**
  * Scan a (possibly partial, possibly crash-truncated) slice
  * trajectory at @p path against its expected record sequence. The
- * valid prefix is the run of leading lines that parse as JSON
- * records and match @p expected position for position; anything
- * after it — a torn trailing line from a mid-write crash, a
- * corrupted or foreign record — is reported via trimmedTail so the
- * caller can truncate(2) to validBytes and resume from
- * validRecords. A missing file scans as an empty valid prefix.
+ * format follows the path's extension: the valid prefix is the run
+ * of leading JSON lines (or, for `.gtrj`, the file header plus the
+ * run of complete binary frames) that parse as records and match
+ * @p expected position for position; anything after it — a torn
+ * trailing line or frame from a mid-write crash, a corrupted or
+ * foreign record — is reported via trimmedTail so the caller can
+ * truncate(2) to validBytes and resume from validRecords. A missing
+ * file scans as an empty valid prefix.
  * @param stats when non-null, appends one RecordStat per valid
  *     record.
  * @return false only on an I/O error reading an existing file.
@@ -228,8 +231,9 @@ struct DispatchOptions
      *  every worker and recorded in the manifests. */
     std::string engineName = "calendar";
 
-    /** Final merged trajectory (must be JSON-lines). The work
-     *  directory is `<outputPath>.dispatch/`. */
+    /** Final merged trajectory (JSON-lines or gtrj — CSV cannot be
+     *  crash-resumed). The work directory is
+     *  `<outputPath>.dispatch/`. */
     std::string outputPath;
 
     /** Final merged manifest; empty keeps it inside the work

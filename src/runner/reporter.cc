@@ -208,6 +208,30 @@ writeJsonLines(std::ostream &os, const std::string &scenario,
             }
             os << "]";
         }
+        // Interval-meter series, gated on the config so the array is
+        // present (possibly empty, e.g. fabric runs) exactly when the
+        // meter was requested; unmetered records keep their exact
+        // bytes.
+        if (c.intervalTicks > 0) {
+            os << ",\"interval_ticks\":" << num(c.intervalTicks)
+               << ",\"intervals\":[";
+            for (std::size_t k = 0; k < r.intervals.size(); ++k) {
+                const IntervalSample &s = r.intervals[k];
+                if (k)
+                    os << ",";
+                os << "{\"tick\":" << num(s.tick)
+                   << ",\"committed\":" << num(s.committed)
+                   << ",\"ipc\":" << jsonNum(s.ipc)
+                   << ",\"energy_nj\":{";
+                for (unsigned d = 0; d < numDomains; ++d)
+                    os << (d ? "," : "")
+                       << jsonQuote(
+                              domainName(static_cast<DomainId>(d)))
+                       << ":" << jsonNum(s.energyNj[d]);
+                os << "},\"fifo_occ\":" << num(s.fifoOcc) << "}";
+            }
+            os << "]";
+        }
         os << "}\n";
     }
 }

@@ -103,6 +103,11 @@ expandReplicatedRuns(const Scenario &s, const SweepOptions &opts,
                    std::make_move_iterator(runs.begin()),
                    std::make_move_iterator(runs.end()));
     }
+    // The interval meter applies sweep-wide; stamping here (the one
+    // place every scenario's grid passes through) keeps the option
+    // out of each scenario's makeRuns().
+    for (RunConfig &cfg : all)
+        cfg.intervalTicks = opts.intervalTicks;
     if (gridSize)
         *gridSize = grid;
     return all;

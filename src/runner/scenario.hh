@@ -89,6 +89,11 @@ struct SweepOptions
     }
     /// @}
 
+    /** Interval-meter period (`--interval-ticks K`), stamped onto
+     *  every expanded run by expandReplicatedRuns(); 0 = off (the
+     *  pre-meter state every manifest and plan line is in). */
+    std::uint64_t intervalTicks = 0;
+
     /** The replica seeds, in run order: @ref explicitSeeds when
      *  given, else seed, seed+1, ..., seed+seedReplicas-1. */
     std::vector<std::uint64_t> seedList() const;

@@ -18,7 +18,8 @@ namespace
     {                                                                  \
         colName, false,                                                \
             [](const RunResults &r) { return double(r.field); },       \
-            [](RunResults &r, double v) { r.field = v; }, nullptr      \
+            [](RunResults &r, double v) { r.field = v; }, nullptr,     \
+            nullptr                                                    \
     }
 #define GALS_METRIC_U64(colName, field)                                \
     MetricAccessor                                                     \
@@ -31,7 +32,8 @@ namespace
             },                                                         \
             [](const RunResults &r) {                                  \
                 return static_cast<std::uint64_t>(r.field);            \
-            }                                                          \
+            },                                                         \
+            [](RunResults &r, std::uint64_t v) { r.field = v; }        \
     }
 
 } // namespace

@@ -41,6 +41,10 @@ struct MetricAccessor
      *  per-run records print this directly so values above 2^53 are
      *  not rounded through double. */
     std::uint64_t (*getU)(const RunResults &);
+    /** Exact integer setter for integral columns (null otherwise):
+     *  the binary-trajectory decoder restores counters without
+     *  rounding through double. */
+    void (*setU)(RunResults &, std::uint64_t);
 };
 
 /** The scalar metric columns, in canonical reporter column order. */

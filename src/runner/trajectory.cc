@@ -2,9 +2,12 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
+#include <system_error>
 
 #include "runner/atomic_file.hh"
+#include "runner/gtrj.hh"
 #include "runner/reporter.hh"
 #include "runner/scenario.hh"
 #include "sim/logging.hh"
@@ -29,15 +32,50 @@ TrajectoryFormat
 trajectoryFormatForPath(const std::string &path)
 {
     const std::size_t dot = path.find_last_of('.');
-    if (dot != std::string::npos && path.substr(dot) == ".csv")
-        return TrajectoryFormat::csv;
+    if (dot != std::string::npos) {
+        const std::string ext = path.substr(dot);
+        if (ext == ".csv")
+            return TrajectoryFormat::csv;
+        if (ext == ".gtrj")
+            return TrajectoryFormat::gtrj;
+    }
     return TrajectoryFormat::jsonLines;
+}
+
+bool
+trajectoryFormatForCliPath(const std::string &path,
+                           TrajectoryFormat &out)
+{
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos)
+        return false;
+    const std::string ext = path.substr(dot);
+    if (ext == ".jsonl" || ext == ".json") {
+        out = TrajectoryFormat::jsonLines;
+        return true;
+    }
+    if (ext == ".csv") {
+        out = TrajectoryFormat::csv;
+        return true;
+    }
+    if (ext == ".gtrj") {
+        out = TrajectoryFormat::gtrj;
+        return true;
+    }
+    return false;
 }
 
 const char *
 trajectoryFormatName(TrajectoryFormat format)
 {
-    return format == TrajectoryFormat::csv ? "csv" : "jsonl";
+    switch (format) {
+      case TrajectoryFormat::csv:
+        return "csv";
+      case TrajectoryFormat::gtrj:
+        return "gtrj";
+      default:
+        return "jsonl";
+    }
 }
 
 TrajectorySink::TrajectorySink(const std::string &path,
@@ -48,12 +86,24 @@ TrajectorySink::TrajectorySink(const std::string &path,
                                   : std::ios::trunc)),
       os_(&file_)
 {
-    if (appendMode && format_ != TrajectoryFormat::jsonLines)
-        gals_fatal("append mode needs a JSON-lines trajectory, not '",
+    if (appendMode && format_ == TrajectoryFormat::csv)
+        gals_fatal("append mode needs a JSON-lines or gtrj "
+                   "trajectory, not '",
                    path_, "'");
     if (!file_)
         gals_fatal("cannot open trajectory file '", path_,
                    "' for writing");
+    if (format_ == TrajectoryFormat::gtrj) {
+        // Fresh files get the header now; an append-mode resume only
+        // needs one when the salvage scan truncated the file to
+        // nothing (a torn header counts for nothing).
+        std::error_code ec;
+        const auto size =
+            appendMode ? std::filesystem::file_size(path, ec)
+                       : std::uintmax_t(0);
+        if (!appendMode || ec || size == 0)
+            *os_ << gtrj::fileHeader();
+    }
 }
 
 TrajectorySink::TrajectorySink(std::ostream &os,
@@ -61,6 +111,8 @@ TrajectorySink::TrajectorySink(std::ostream &os,
                                const std::string &path)
     : path_(path), format_(format), os_(&os)
 {
+    if (format_ == TrajectoryFormat::gtrj)
+        *os_ << gtrj::fileHeader();
 }
 
 void
@@ -71,6 +123,17 @@ TrajectorySink::append(const std::string &scenario,
 {
     if (format_ == TrajectoryFormat::jsonLines) {
         writeJsonLines(*os_, scenario, cfgs, results, indices);
+    } else if (format_ == TrajectoryFormat::gtrj) {
+        gals_assert(cfgs.size() == results.size(),
+                    "trajectory sink: ", cfgs.size(), " configs vs ",
+                    results.size(), " results");
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const std::size_t index = indices ? (*indices)[i] : i;
+            const std::string frame = gtrj::encodeRecord(
+                scenario, index, cfgs[i], results[i]);
+            os_->write(frame.data(),
+                       static_cast<std::streamsize>(frame.size()));
+        }
     } else if (!results.empty()) {
         // Defer the header to the first non-empty grid: an empty one
         // (a literature-only scenario, or a shard slice with no
@@ -94,13 +157,13 @@ TrajectorySink::appendOne(const std::string &scenario,
                           const RunResults &result,
                           std::size_t canonicalIndex)
 {
-    if (format_ != TrajectoryFormat::jsonLines)
-        gals_fatal("appendOne() streams JSON lines only ('", path_,
-                   "' is csv)");
+    if (format_ == TrajectoryFormat::csv)
+        gals_fatal("appendOne() streams JSON lines or gtrj only ('",
+                   path_, "' is csv)");
     const std::vector<RunConfig> cfgs{cfg};
     const std::vector<RunResults> results{result};
     const std::vector<std::size_t> indices{canonicalIndex};
-    writeJsonLines(*os_, scenario, cfgs, results, &indices);
+    append(scenario, cfgs, results, &indices);
     // The flush is the contract: once appendOne() returns, the
     // record survives a SIGKILL of this process.
     os_->flush();
@@ -189,6 +252,11 @@ writeManifest(std::ostream &os, const SweepOptions &opts,
         }
         os << "]},\n";
     }
+
+    // Interval meter (--interval-ticks), written only when enabled:
+    // pre-meter manifests keep their exact historical bytes.
+    if (opts.intervalTicks > 0)
+        os << "  \"interval_ticks\": " << opts.intervalTicks << ",\n";
 
     if (opts.shard.active())
         os << "  \"shard\": {\"index\": " << opts.shard.index

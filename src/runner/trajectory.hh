@@ -43,13 +43,25 @@ enum class TrajectoryFormat
 {
     jsonLines, ///< one JSON object per run per line
     csv,       ///< one header row, then one row per run
+    gtrj,      ///< binary frames (runner/gtrj.hh)
 };
 
-/** Format implied by a `--output` path: `.csv` → csv, anything else
- *  (including `.json` / `.jsonl`) → JSON lines. */
+/** Format implied by a `--output` path: `.csv` → csv, `.gtrj` →
+ *  gtrj, anything else (including `.json` / `.jsonl`) → JSON lines.
+ *  Lenient by design — existing extensionless archives stay
+ *  readable; the CLI validates new paths with
+ *  trajectoryFormatForCliPath() instead. */
 TrajectoryFormat trajectoryFormatForPath(const std::string &path);
 
-/** Short format name for manifests: "jsonl" or "csv". */
+/** Strict CLI-side parse of a `--output` path: true with @p out set
+ *  for the known extensions (`.jsonl` / `.json` / `.csv` / `.gtrj`),
+ *  false for anything else — the caller rejects with usage, like the
+ *  `--engine` validation, instead of silently writing JSON lines to
+ *  a surprising filename. */
+bool trajectoryFormatForCliPath(const std::string &path,
+                                TrajectoryFormat &out);
+
+/** Short format name for manifests: "jsonl", "csv" or "gtrj". */
 const char *trajectoryFormatName(TrajectoryFormat format);
 
 /**
@@ -67,11 +79,15 @@ class TrajectorySink
 {
   public:
     /**
-     * Open @p path; fatal if the file cannot be created.
+     * Open @p path; fatal if the file cannot be created. A gtrj sink
+     * writes the file header on open (append mode: only when the
+     * file is empty, i.e. a fresh slice or a resume scan that
+     * truncated everything including a torn header).
      * @param appendMode keep existing contents and append (the
      *     dispatch orchestrator's resumed workers extend a salvaged
-     *     record prefix); JSON-lines only — a resumed CSV file would
-     *     need header reconciliation nothing requires yet.
+     *     record prefix); JSON-lines and gtrj only — a resumed CSV
+     *     file would need header reconciliation nothing requires
+     *     yet.
      */
     explicit TrajectorySink(const std::string &path,
                             bool appendMode = false);
@@ -96,11 +112,12 @@ class TrajectorySink
 
     /**
      * Append ONE record and flush it to disk before returning
-     * (JSON-lines only). This is the crash-safety primitive behind
+     * (JSON-lines / gtrj). This is the crash-safety primitive behind
      * `galsbench dispatch`: a worker streaming records through
      * appendOne() in canonical order loses at most the one record
-     * being written when it is killed, and the surviving prefix is
-     * valid JSON lines the orchestrator's resume scan can keep.
+     * being written when it is killed, and the surviving prefix is a
+     * valid record prefix (JSON lines / gtrj frames) the
+     * orchestrator's resume scan can keep.
      * @param canonicalIndex the record's index in the unsharded grid.
      */
     void appendOne(const std::string &scenario, const RunConfig &cfg,

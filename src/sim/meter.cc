@@ -1,0 +1,28 @@
+#include "sim/meter.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gals
+{
+
+PeriodicMeter::PeriodicMeter(EventQueue &eq, std::string name,
+                             Tick intervalTicks)
+    // Phase == period: the first edge fires one full interval after
+    // start(), so sample i covers (i*K, (i+1)*K].
+    : domain_(eq, std::move(name), intervalTicks, intervalTicks)
+{
+    gals_assert(intervalTicks > 0,
+                "meter needs a positive sampling interval");
+    domain_.addTicker(*this);
+}
+
+void
+PeriodicMeter::tick()
+{
+    sampleInterval(samples_, domain_.lastEdge());
+    ++samples_;
+}
+
+} // namespace gals

@@ -29,9 +29,11 @@
 #include <unistd.h>
 
 #include "bench/register_all.hh"
+#include "power/power_model.hh"
 #include "runner/atomic_file.hh"
 #include "runner/engine.hh"
 #include "runner/fault.hh"
+#include "runner/gtrj.hh"
 #include "runner/json.hh"
 #include "runner/merge.hh"
 #include "runner/orchestrator.hh"
@@ -297,6 +299,92 @@ TEST(SliceScan, ExtraRecordsPastTheExpectationAreTail)
     ASSERT_TRUE(scanSliceRecords(path, expectations("s", {0, 3}),
                                  scan, err));
     EXPECT_EQ(scan.validRecords, 2u);
+    EXPECT_TRUE(scan.trimmedTail);
+}
+
+// ----------------------------------------------------- gtrj slice scan
+
+/** One encoded gtrj frame with just enough record identity for the
+ *  scan: scenario, canonical index, benchmark, time_sec. */
+std::string
+fakeGtrjFrame(const std::string &scenario, std::uint64_t index,
+              const std::string &benchmark = "adpcm")
+{
+    RunConfig cfg;
+    cfg.benchmark = benchmark;
+    cfg.instructions = 2000;
+    RunResults r;
+    r.benchmark = benchmark;
+    r.timeSec = 0.5;
+    // The encoder's positional unit-energy block requires the full
+    // power-model unit set, exactly like a real run.
+    for (unsigned u = 0; u < numUnits; ++u)
+        r.unitEnergyNj[unitName(static_cast<Unit>(u))] = 1.0;
+    return gtrj::encodeRecord(scenario, index, cfg, r);
+}
+
+TEST(SliceScan, GtrjFullFileMatchesWithoutTrim)
+{
+    const std::string path = tempPath("scan_full.gtrj");
+    spit(path, gtrj::fileHeader() + fakeGtrjFrame("s", 0) +
+                   fakeGtrjFrame("s", 3, "fpppp"));
+    SliceScan scan;
+    std::string err;
+    std::vector<RecordStat> stats;
+    ASSERT_TRUE(scanSliceRecords(path, expectations("s", {0, 3}),
+                                 scan, err, &stats));
+    EXPECT_EQ(scan.validRecords, 2u);
+    EXPECT_EQ(scan.validBytes, slurp(path).size());
+    EXPECT_FALSE(scan.trimmedTail);
+    ASSERT_EQ(stats.size(), 2u);
+    EXPECT_EQ(stats[0].benchmark, "adpcm");
+    EXPECT_EQ(stats[1].benchmark, "fpppp");
+    EXPECT_DOUBLE_EQ(stats[1].timeSec, 0.5);
+}
+
+TEST(SliceScan, GtrjTornTrailingFrameIsTrimmed)
+{
+    const std::string path = tempPath("scan_torn.gtrj");
+    const std::string keep =
+        gtrj::fileHeader() + fakeGtrjFrame("s", 0);
+    const std::string second = fakeGtrjFrame("s", 3);
+    // A SIGKILL mid-write: the second frame lost its tail.
+    spit(path, keep + second.substr(0, second.size() / 2));
+    SliceScan scan;
+    std::string err;
+    ASSERT_TRUE(scanSliceRecords(path, expectations("s", {0, 3}),
+                                 scan, err));
+    EXPECT_EQ(scan.validRecords, 1u);
+    EXPECT_EQ(scan.validBytes, keep.size());
+    EXPECT_TRUE(scan.trimmedTail);
+}
+
+TEST(SliceScan, GtrjTornHeaderSalvagesNothing)
+{
+    const std::string path = tempPath("scan_header.gtrj");
+    spit(path, gtrj::fileHeader().substr(0, 2));
+    SliceScan scan;
+    std::string err;
+    ASSERT_TRUE(scanSliceRecords(path, expectations("s", {0}), scan,
+                                 err));
+    EXPECT_EQ(scan.validRecords, 0u);
+    EXPECT_EQ(scan.validBytes, 0u); // the reopened sink rewrites it
+    EXPECT_TRUE(scan.trimmedTail);
+}
+
+TEST(SliceScan, GtrjMismatchedFrameEndsThePrefix)
+{
+    const std::string path = tempPath("scan_mismatch.gtrj");
+    spit(path, gtrj::fileHeader() + fakeGtrjFrame("s", 0) +
+                   fakeGtrjFrame("s", 7) + fakeGtrjFrame("s", 5));
+    SliceScan scan;
+    std::string err;
+    ASSERT_TRUE(scanSliceRecords(path, expectations("s", {0, 3, 5}),
+                                 scan, err));
+    EXPECT_EQ(scan.validRecords, 1u);
+    EXPECT_EQ(scan.validBytes,
+              gtrj::fileHeader().size() +
+                  fakeGtrjFrame("s", 0).size());
     EXPECT_TRUE(scan.trimmedTail);
 }
 
@@ -568,6 +656,73 @@ TEST_F(DispatchIntegration, ResumeRunsOnlyTheMissingRecords)
 
     // The merged manifest replays clean: grid shapes, config hashes
     // and record bytes all line up with the archive.
+    std::ostringstream vdiag;
+    const ExperimentEngine engine(1);
+    EXPECT_TRUE(verifyManifest(registry_, engine,
+                               workDir + "/manifest.json", vdiag))
+        << vdiag.str();
+}
+
+TEST_F(DispatchIntegration, GtrjDispatchResumesAcrossATornFrame)
+{
+    const std::string out = tempPath("gtrj/merged.gtrj");
+    fs::remove_all(tempPath("gtrj"));
+    fs::create_directories(tempPath("gtrj"));
+
+    // The unsharded binary reference the dispatch must reproduce.
+    const std::string refPath = tempPath("gtrj/reference.gtrj");
+    {
+        const SweepOptions sweep = integrationSweep();
+        TrajectorySink sink(refPath);
+        const ExperimentEngine engine(1);
+        const Scenario *scenario = registry_.find("fig05");
+        ASSERT_NE(scenario, nullptr);
+        const std::vector<RunConfig> runs =
+            expandReplicatedRuns(*scenario, sweep, nullptr);
+        sink.append("fig05", runs, engine.run(runs));
+        sink.close();
+    }
+
+    DispatchOptions opts = integrationOptions(out);
+    // Slice 1 dies after flushing its first frame; the retry must
+    // append from the salvaged frame, as with JSON lines.
+    opts.firstAttemptArgs[1] = {"--fault-exit-after", "1"};
+    std::ostringstream diag1;
+    DispatchReport report;
+    ASSERT_TRUE(runDispatch(registry_, opts, diag1, &report))
+        << diag1.str();
+    EXPECT_EQ(report.retries, 1u);
+    EXPECT_EQ(slurp(out), slurp(refPath));
+
+    // Kill -9 simulation on the binary slice: keep the header, the
+    // first frame and half of the second, drop the slice manifest
+    // and the merged outputs, then resume.
+    const std::string workDir = out + ".dispatch";
+    const std::string slice1 = workDir + "/slice_1.gtrj";
+    const std::string full = slurp(slice1);
+    std::size_t pos = 0;
+    std::string err;
+    ASSERT_TRUE(gtrj::readHeader(full, pos, err)) << err;
+    std::string_view payload;
+    ASSERT_EQ(gtrj::nextFrame(full, pos, payload, err),
+              gtrj::FrameStatus::ok)
+        << err;
+    spit(slice1, full.substr(0, pos + 7)); // 7 bytes of frame 2
+    fs::remove(workDir + "/slice_1.manifest.json");
+    fs::remove(out);
+
+    opts.firstAttemptArgs.clear(); // the resume runs fault-free
+    std::ostringstream diag2;
+    ASSERT_TRUE(runDispatch(registry_, opts, diag2, &report))
+        << diag2.str();
+    EXPECT_EQ(report.resumedDoneSlices, 2u);
+    EXPECT_EQ(report.launches, 1u);
+    EXPECT_EQ(report.recordsRun, 1u);
+    EXPECT_EQ(slurp(out), slurp(refPath));
+    EXPECT_NE(slurp(workDir + "/journal.jsonl").find("\"trim\""),
+              std::string::npos);
+
+    // The merged binary manifest replays clean through --verify.
     std::ostringstream vdiag;
     const ExperimentEngine engine(1);
     EXPECT_TRUE(verifyManifest(registry_, engine,

@@ -15,10 +15,15 @@ Two input formats are auto-detected per file:
   Compared metric: median real time per benchmark.
 
 * sweep trajectory JSONL (one record object per line, as written by
-  galsbench --output). Compared metric: simulated "ticks" per record,
-  keyed by scenario/index/benchmark/seed. Ticks are deterministic, so
-  any delta is a real behavior change in the simulated machine, not
-  runner noise.
+  galsbench --output, or by `galsbench parse` from a .gtrj archive).
+  Compared metric: simulated "ticks" per record, keyed by
+  scenario/index/benchmark/seed. Ticks are deterministic, so any
+  delta is a real behavior change in the simulated machine, not
+  runner noise. Records carrying the gated interval-meter time-series
+  (--interval-ticks) additionally contribute their final interval's
+  cumulative committed count as a separate "… interval" entry;
+  records without the field (every pre-meter archive) simply
+  contribute no such entry.
 
 Prints a per-entry table of baseline vs current (with the ratio) plus
 entries that appear on only one side, so the CI perf-trajectory step
@@ -58,6 +63,13 @@ def trajectory_ticks(lines):
             r.get("benchmark", "?"), r.get("seed", "?"),
             " gals" if r.get("gals") else "")
         out[key] = (float(r["ticks"]), "tk")
+        # Gated interval-meter series: compare the last interval's
+        # cumulative committed count when present; absent fields
+        # (pre-meter archives, meterless runs) are simply skipped.
+        intervals = r.get("intervals")
+        if intervals:
+            committed = sum(s.get("committed", 0) for s in intervals)
+            out[key + " interval"] = (float(committed), "in")
     return out
 
 
