@@ -61,6 +61,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -73,6 +74,7 @@
 #include <unistd.h>
 
 #include "bench/register_all.hh"
+#include "core/snapshot.hh"
 #include "fabric/fabric_config.hh"
 #include "runner/engine.hh"
 #include "runner/fault.hh"
@@ -104,6 +106,7 @@ usage(std::FILE *to, int exitCode)
         "                 [--shard I/N]\n"
         "                 [--cores A,B,...] [--topology T,...]\n"
         "                 [--traffic P,...] [--interval-ticks K]\n"
+        "                 [--warmup-insts K] [--snapshot-dir PATH]\n"
         "                 [--output PATH] [--manifest PATH]\n"
         "                 [--engine calendar|heap]\n"
         "       galsbench --merge SHARD... --output PATH\n"
@@ -121,6 +124,7 @@ usage(std::FILE *to, int exitCode)
         "E]\n"
         "                 [--cores A,B,...] [--topology T,...]\n"
         "                 [--traffic P,...] [--interval-ticks K]\n"
+        "                 [--warmup-insts K] [--snapshot-dir PATH]\n"
         "                 [--retries N] [--backoff-ms N]\n"
         "                 [--backoff-cap-ms N] [--straggler-factor "
         "X]\n"
@@ -167,6 +171,18 @@ usage(std::FILE *to, int exitCode)
         "                  sample per-interval meters every K ticks\n"
         "                  (IPC, per-domain energy, FIFO occupancy);\n"
         "                  records gain an \"intervals\" time-series\n"
+        "  --warmup-insts K\n"
+        "                  split every single-core run into K warmup\n"
+        "                  instructions plus (insts - K) measured\n"
+        "                  ones (K must be < --insts); runs sharing\n"
+        "                  a warmup stem reuse one memoized warm\n"
+        "                  snapshot instead of re-simulating it\n"
+        "  --snapshot-dir PATH\n"
+        "                  existing directory where warm snapshots\n"
+        "                  are exchanged on disk, so separate\n"
+        "                  processes (--shard workers, dispatch)\n"
+        "                  share warmup stems; never affects the\n"
+        "                  records, manifests or hashes\n"
         "  --manifest PATH write a run manifest (version, engine,\n"
         "                  seeds, shard, per-scenario config hashes)\n"
         "  --merge F...    merge shard trajectory files into the\n"
@@ -578,6 +594,26 @@ dispatchMain(int argc, char **argv, const ScenarioRegistry &registry)
                              "> 0\n");
                 return 2;
             }
+        } else if (!std::strcmp(arg, "--warmup-insts")) {
+            opts.sweep.warmupInstructions = numericValue(
+                "--warmup-insts", argValue(argc, argv, i));
+            if (opts.sweep.warmupInstructions == 0) {
+                std::fprintf(stderr,
+                             "galsbench: --warmup-insts must be "
+                             "> 0\n");
+                return 2;
+            }
+        } else if (!std::strcmp(arg, "--snapshot-dir")) {
+            opts.snapshotDir = argValue(argc, argv, i);
+            std::error_code ec;
+            if (!std::filesystem::is_directory(opts.snapshotDir,
+                                               ec)) {
+                std::fprintf(stderr,
+                             "galsbench: --snapshot-dir '%s' is "
+                             "not an existing directory\n",
+                             opts.snapshotDir.c_str());
+                return 2;
+            }
         } else if (!std::strcmp(arg, "--engine")) {
             opts.engineName = queueEngineName(engineValue(
                 "--engine", argValue(argc, argv, i)));
@@ -653,6 +689,17 @@ dispatchMain(int argc, char **argv, const ScenarioRegistry &registry)
     if (!cliBenchmarks.empty())
         opts.sweep.benchmarks = std::move(cliBenchmarks);
     checkFabricAxes(opts.sweep);
+    if (opts.sweep.warmupInstructions > 0 &&
+        opts.sweep.warmupInstructions >= opts.sweep.instructions) {
+        std::fprintf(stderr,
+                     "galsbench: --warmup-insts (%llu) must be < "
+                     "the instruction count (%llu)\n",
+                     static_cast<unsigned long long>(
+                         opts.sweep.warmupInstructions),
+                     static_cast<unsigned long long>(
+                         opts.sweep.instructions));
+        return 2;
+    }
     if (runAll) {
         opts.scenarios.clear();
         for (const Scenario &s : registry.all())
@@ -927,6 +974,28 @@ main(int argc, char **argv)
                              "> 0\n");
                 return 2;
             }
+        } else if (!std::strcmp(arg, "--warmup-insts")) {
+            opts.warmupInstructions = numericValue(
+                "--warmup-insts", argValue(argc, argv, i));
+            sweepFlags.push_back("--warmup-insts");
+            if (opts.warmupInstructions == 0) {
+                std::fprintf(stderr,
+                             "galsbench: --warmup-insts must be "
+                             "> 0\n");
+                return 2;
+            }
+        } else if (!std::strcmp(arg, "--snapshot-dir")) {
+            const std::string dir = argValue(argc, argv, i);
+            sweepFlags.push_back("--snapshot-dir");
+            std::error_code ec;
+            if (!std::filesystem::is_directory(dir, ec)) {
+                std::fprintf(stderr,
+                             "galsbench: --snapshot-dir '%s' is "
+                             "not an existing directory\n",
+                             dir.c_str());
+                return 2;
+            }
+            setSnapshotDir(dir);
         } else if (!std::strcmp(arg, "--merge")) {
             fileListValue("--merge", argc, argv, i, mergeFiles);
         } else if (!std::strcmp(arg, "--merge-manifest")) {
@@ -974,6 +1043,19 @@ main(int argc, char **argv)
     if (!cliBenchmarks.empty())
         opts.benchmarks = std::move(cliBenchmarks);
     checkFabricAxes(opts);
+    // Checked after the whole parse so --insts/--warmup-insts order
+    // does not matter.
+    if (opts.warmupInstructions > 0 &&
+        opts.warmupInstructions >= opts.instructions) {
+        std::fprintf(stderr,
+                     "galsbench: --warmup-insts (%llu) must be < "
+                     "the instruction count (%llu)\n",
+                     static_cast<unsigned long long>(
+                         opts.warmupInstructions),
+                     static_cast<unsigned long long>(
+                         opts.instructions));
+        return 2;
+    }
 
     if (cliFault.active())
         setFaultPlan(cliFault);

@@ -17,7 +17,9 @@
 #include <benchmark/benchmark.h>
 
 #include "core/channel.hh"
+#include "core/domain.hh"
 #include "core/experiment.hh"
+#include "core/snapshot.hh"
 #include "sim/clock_domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -337,6 +339,46 @@ BM_SimulationRate(benchmark::State &state)
 }
 BENCHMARK(BM_SimulationRate)
     ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Warm-state memoization payoff: a four-cell DVFS sweep whose cells
+ * share one warmup stem at a 10:1 warmup:measure split. The cold leg
+ * clears the snapshot cache before every cell, so each one pays the
+ * full warmup simulation; the memoized leg produces the stem's
+ * snapshot once and restores it into the other three cells. Records
+ * are byte-identical either way (tests/test_snapshot.cc) — this
+ * benchmark measures only the wall-clock delta the memoization buys.
+ */
+void
+BM_WarmupReuse(benchmark::State &state)
+{
+    const bool memoized = state.range(0) != 0;
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        clearSnapshotCache();
+        for (int cell = 0; cell < 4; ++cell) {
+            if (!memoized)
+                clearSnapshotCache();
+            RunConfig rc;
+            rc.benchmark = "gcc";
+            rc.gals = true;
+            rc.instructions = 22000;
+            rc.warmupInstructions = 20000;
+            rc.dvfs.slowdown[domainIndex(DomainId::fpd)] =
+                1.0 + 0.2 * cell;
+            const RunResults r = runOne(rc);
+            benchmark::DoNotOptimize(r.ipcNominal);
+            insts += r.committed;
+        }
+    }
+    clearSnapshotCache();
+    state.SetLabel(memoized ? "memoized" : "cold");
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_WarmupReuse)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

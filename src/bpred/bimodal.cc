@@ -1,6 +1,7 @@
 #include "bpred/bpred.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot_io.hh"
 
 namespace gals
 {
@@ -43,6 +44,26 @@ BimodalPredictor::update(std::uint64_t pc, bool taken)
 {
     auto &ctr = table_[index(pc)];
     ctr = updateCounter(ctr, taken);
+}
+
+void
+BimodalPredictor::snapshotSave(SnapshotWriter &w) const
+{
+    w.u64(table_.size());
+    for (std::uint8_t ctr : table_)
+        w.u64(ctr);
+}
+
+void
+BimodalPredictor::snapshotRestore(SnapshotReader &r)
+{
+    r.expectU64(r.u64(), table_.size(), "bimodal table size");
+    for (std::uint8_t &ctr : table_) {
+        const std::uint64_t v = r.u64();
+        if (v > 3)
+            r.fail("bimodal counter out of range");
+        ctr = static_cast<std::uint8_t>(v);
+    }
 }
 
 } // namespace gals

@@ -1,6 +1,7 @@
 #include "bpred/bpred.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot_io.hh"
 
 namespace gals
 {
@@ -91,6 +92,28 @@ std::uint64_t
 BranchUnit::sizeBits() const
 {
     return dir_->sizeBits() + btb_.sizeBits();
+}
+
+void
+BranchUnit::snapshotSave(SnapshotWriter &w) const
+{
+    // The predictor kind guards against restoring, say, gshare bytes
+    // into a bimodal unit whose table happens to be the same length.
+    w.str(dir_->name());
+    dir_->snapshotSave(w);
+    btb_.snapshotSave(w);
+    ras_.snapshotSave(w);
+}
+
+void
+BranchUnit::snapshotRestore(SnapshotReader &r)
+{
+    const std::string kind = r.str();
+    if (r.ok() && kind != dir_->name())
+        r.fail("mismatched branch predictor kind");
+    dir_->snapshotRestore(r);
+    btb_.snapshotRestore(r);
+    ras_.snapshotRestore(r);
 }
 
 } // namespace gals

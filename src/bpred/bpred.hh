@@ -22,6 +22,9 @@
 namespace gals
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Abstract taken/not-taken predictor. */
 class DirectionPredictor
 {
@@ -41,6 +44,14 @@ class DirectionPredictor
     virtual std::uint64_t sizeBits() const = 0;
 
     virtual const char *name() const = 0;
+
+    /** @name Warm-state snapshot (core/snapshot.hh): the trained
+     *  tables/history. Restore checks the geometry against this
+     *  predictor and fails the reader on a mismatch. */
+    /// @{
+    virtual void snapshotSave(SnapshotWriter &w) const = 0;
+    virtual void snapshotRestore(SnapshotReader &r) = 0;
+    /// @}
 };
 
 /** Classic 2-bit saturating counter table indexed by pc. */
@@ -53,6 +64,8 @@ class BimodalPredictor : public DirectionPredictor
     void update(std::uint64_t pc, bool taken) override;
     std::uint64_t sizeBits() const override { return table_.size() * 2; }
     const char *name() const override { return "bimodal"; }
+    void snapshotSave(SnapshotWriter &w) const override;
+    void snapshotRestore(SnapshotReader &r) override;
 
   private:
     std::size_t index(std::uint64_t pc) const;
@@ -70,6 +83,8 @@ class GsharePredictor : public DirectionPredictor
     void update(std::uint64_t pc, bool taken) override;
     std::uint64_t sizeBits() const override { return table_.size() * 2; }
     const char *name() const override { return "gshare"; }
+    void snapshotSave(SnapshotWriter &w) const override;
+    void snapshotRestore(SnapshotReader &r) override;
 
     std::uint32_t history() const { return history_; }
 
@@ -96,6 +111,8 @@ class CombiningPredictor : public DirectionPredictor
     void update(std::uint64_t pc, bool taken) override;
     std::uint64_t sizeBits() const override;
     const char *name() const override { return "combining"; }
+    void snapshotSave(SnapshotWriter &w) const override;
+    void snapshotRestore(SnapshotReader &r) override;
 
   private:
     BimodalPredictor bimodal_;
@@ -118,6 +135,10 @@ class Btb
     std::uint64_t sizeBits() const;
     std::uint64_t lookups() const { return lookups_; }
     std::uint64_t hits() const { return hits_; }
+
+    /** Warm-state snapshot: entries + LRU clock, not the counters. */
+    void snapshotSave(SnapshotWriter &w) const;
+    void snapshotRestore(SnapshotReader &r);
 
   private:
     struct Entry
@@ -143,6 +164,9 @@ class ReturnAddressStack
     /** Pop a predicted return target; 0 if the stack is empty. */
     std::uint64_t pop();
     unsigned depth() const { return depth_; }
+
+    void snapshotSave(SnapshotWriter &w) const;
+    void snapshotRestore(SnapshotReader &r);
 
   private:
     std::vector<std::uint64_t> stack_;
@@ -209,6 +233,12 @@ class BranchUnit
     DirectionPredictor &direction() { return *dir_; }
     Btb &btb() { return btb_; }
     ReturnAddressStack &ras() { return ras_; }
+
+    /** Warm-state snapshot of the whole unit (direction predictor,
+     *  BTB, RAS); the activity counters stay with the measured
+     *  region. */
+    void snapshotSave(SnapshotWriter &w) const;
+    void snapshotRestore(SnapshotReader &r);
 
   private:
     std::unique_ptr<DirectionPredictor> dir_;

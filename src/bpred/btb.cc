@@ -1,6 +1,7 @@
 #include "bpred/bpred.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot_io.hh"
 
 namespace gals
 {
@@ -61,6 +62,32 @@ Btb::sizeBits() const
     return static_cast<std::uint64_t>(sets_) * ways_ * 64;
 }
 
+void
+Btb::snapshotSave(SnapshotWriter &w) const
+{
+    w.u64(entries_.size());
+    for (const Entry &e : entries_) {
+        w.flag(e.valid);
+        w.u64(e.tag);
+        w.u64(e.target);
+        w.u64(e.lru);
+    }
+    w.u64(lruClock_);
+}
+
+void
+Btb::snapshotRestore(SnapshotReader &r)
+{
+    r.expectU64(r.u64(), entries_.size(), "BTB entry count");
+    for (Entry &e : entries_) {
+        e.valid = r.flag();
+        e.tag = r.u64();
+        e.target = r.u64();
+        e.lru = r.u64();
+    }
+    lruClock_ = r.u64();
+}
+
 ReturnAddressStack::ReturnAddressStack(unsigned entries)
     : stack_(entries, 0)
 {
@@ -85,6 +112,30 @@ ReturnAddressStack::pop()
     top_ = (top_ + stack_.size() - 1) % stack_.size();
     --depth_;
     return t;
+}
+
+void
+ReturnAddressStack::snapshotSave(SnapshotWriter &w) const
+{
+    w.u64(stack_.size());
+    for (std::uint64_t pc : stack_)
+        w.u64(pc);
+    w.u64(top_);
+    w.u64(depth_);
+}
+
+void
+ReturnAddressStack::snapshotRestore(SnapshotReader &r)
+{
+    r.expectU64(r.u64(), stack_.size(), "RAS size");
+    for (std::uint64_t &pc : stack_)
+        pc = r.u64();
+    const std::uint64_t top = r.u64();
+    const std::uint64_t depth = r.u64();
+    if (top >= stack_.size() || depth > stack_.size())
+        r.fail("RAS pointers out of range");
+    top_ = static_cast<unsigned>(top);
+    depth_ = static_cast<unsigned>(depth);
 }
 
 } // namespace gals

@@ -1,6 +1,7 @@
 #include "bpred/bpred.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot_io.hh"
 
 namespace gals
 {
@@ -50,6 +51,30 @@ std::uint64_t
 CombiningPredictor::sizeBits() const
 {
     return bimodal_.sizeBits() + gshare_.sizeBits() + chooser_.size() * 2;
+}
+
+void
+CombiningPredictor::snapshotSave(SnapshotWriter &w) const
+{
+    bimodal_.snapshotSave(w);
+    gshare_.snapshotSave(w);
+    w.u64(chooser_.size());
+    for (std::uint8_t ctr : chooser_)
+        w.u64(ctr);
+}
+
+void
+CombiningPredictor::snapshotRestore(SnapshotReader &r)
+{
+    bimodal_.snapshotRestore(r);
+    gshare_.snapshotRestore(r);
+    r.expectU64(r.u64(), chooser_.size(), "chooser table size");
+    for (std::uint8_t &ctr : chooser_) {
+        const std::uint64_t v = r.u64();
+        if (v > 3)
+            r.fail("chooser counter out of range");
+        ctr = static_cast<std::uint8_t>(v);
+    }
 }
 
 } // namespace gals

@@ -1,6 +1,7 @@
 #include "bpred/bpred.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot_io.hh"
 
 namespace gals
 {
@@ -34,6 +35,31 @@ GsharePredictor::update(std::uint64_t pc, bool taken)
     else
         ctr = ctr > 0 ? ctr - 1 : 0;
     history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+void
+GsharePredictor::snapshotSave(SnapshotWriter &w) const
+{
+    w.u64(table_.size());
+    for (std::uint8_t ctr : table_)
+        w.u64(ctr);
+    w.u64(history_);
+}
+
+void
+GsharePredictor::snapshotRestore(SnapshotReader &r)
+{
+    r.expectU64(r.u64(), table_.size(), "gshare table size");
+    for (std::uint8_t &ctr : table_) {
+        const std::uint64_t v = r.u64();
+        if (v > 3)
+            r.fail("gshare counter out of range");
+        ctr = static_cast<std::uint8_t>(v);
+    }
+    const std::uint64_t h = r.u64();
+    if (h & ~static_cast<std::uint64_t>(historyMask_))
+        r.fail("gshare history wider than this predictor");
+    history_ = static_cast<std::uint32_t>(h);
 }
 
 } // namespace gals

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/snapshot_io.hh"
 
 namespace gals
 {
@@ -93,6 +94,32 @@ Cache::flush()
     for (auto &l : lines_)
         l = Line();
     lruClock_ = 0;
+}
+
+void
+Cache::snapshotSave(SnapshotWriter &w) const
+{
+    w.u64(lines_.size());
+    for (const Line &l : lines_) {
+        w.flag(l.valid);
+        w.flag(l.dirty);
+        w.u64(l.tag);
+        w.u64(l.lru);
+    }
+    w.u64(lruClock_);
+}
+
+void
+Cache::snapshotRestore(SnapshotReader &r)
+{
+    r.expectU64(r.u64(), lines_.size(), "cache line count");
+    for (Line &l : lines_) {
+        l.valid = r.flag();
+        l.dirty = r.flag();
+        l.tag = r.u64();
+        l.lru = r.u64();
+    }
+    lruClock_ = r.u64();
 }
 
 } // namespace gals

@@ -20,6 +20,9 @@
 namespace gals
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * One level of cache.
  */
@@ -74,6 +77,19 @@ class Cache
     /// @}
 
     const std::string &name() const { return name_; }
+
+    /** @name Warm-state snapshot (core/snapshot.hh)
+     *
+     * Tag/valid/dirty/LRU state of every line plus the LRU clock —
+     * the warm contents — but none of the statistics counters, which
+     * belong to the measured region. Restore checks the geometry
+     * (line count) against this cache and fails the reader on a
+     * mismatch.
+     */
+    /// @{
+    void snapshotSave(SnapshotWriter &w) const;
+    void snapshotRestore(SnapshotReader &r);
+    /// @}
 
   private:
     struct Line

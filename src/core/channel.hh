@@ -100,6 +100,18 @@ class ChannelBase
     Tick totalResidency() const { return totalResidency_; }
     /// @}
 
+    /** Items pushed but neither popped nor squashed yet — the
+     *  instantaneous occupancy, derived from the activity counters
+     *  (interval meter samples, warm-snapshot quiescence). */
+    std::size_t
+    occupancy() const
+    {
+        const std::uint64_t out = pops_ + squashedItems_;
+        return pushes_ > out
+                   ? static_cast<std::size_t>(pushes_ - out)
+                   : 0;
+    }
+
   protected:
     /** Visibility time of an item pushed at @p t. */
     Tick visibleAt(Tick t) const;

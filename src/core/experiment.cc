@@ -3,6 +3,7 @@
 #include <cstring>
 #include <memory>
 
+#include "core/snapshot.hh"
 #include "dvfs/controller.hh"
 #include "fabric/system.hh"
 #include "sim/logging.hh"
@@ -35,7 +36,7 @@ shardRunIndices(std::size_t total, const ShardSpec &shard)
 const char *
 galssimVersion()
 {
-    return "0.4.0";
+    return "0.5.0";
 }
 
 namespace
@@ -209,6 +210,13 @@ runConfigHash(const RunConfig &cfg)
         hash.str("meter");
         hash.u64(cfg.intervalTicks);
     }
+
+    // Warmup split, gated the same way: a run without one (the
+    // default) keeps its archived hash.
+    if (cfg.warmupInstructions > 0) {
+        hash.str("warmup");
+        hash.u64(cfg.warmupInstructions);
+    }
     return hash.h;
 }
 
@@ -288,8 +296,14 @@ extractRunResults(Processor &proc, const RunConfig &cfg)
 RunResults
 runOne(const RunConfig &cfg)
 {
-    if (cfg.fabric.active())
+    if (cfg.fabric.active()) {
+        // Warmup snapshots are stamped onto single-core runs only
+        // (runner::expandReplicatedRuns); a fabric config carrying
+        // one is a programming error, never silently ignored.
+        gals_assert(cfg.warmupInstructions == 0,
+                    "warmup snapshots are single-core only");
         return runSystem(cfg);
+    }
 
     const BenchmarkProfile &profile = findBenchmark(cfg.benchmark);
 
@@ -298,8 +312,29 @@ runOne(const RunConfig &cfg)
     pc.dvfs = cfg.gals ? cfg.dvfs : DvfsSetting();
     pc.phaseSeed = effectivePhaseSeed(cfg);
 
+    // Warm-state split: acquire the (memoized) warmup snapshot first,
+    // then restore it into the fresh machine below. The cold and warm
+    // paths are the same code — a "cold" run merely produces the
+    // bytes it restores — so memoization cannot change any result
+    // (core/snapshot.hh).
+    const bool warm = cfg.warmupInstructions > 0;
+    std::shared_ptr<const std::string> snapshot;
+    if (warm) {
+        if (cfg.warmupInstructions >= cfg.instructions)
+            gals_fatal("warmup instructions (", cfg.warmupInstructions,
+                       ") must be < total instructions (",
+                       cfg.instructions, ")");
+        snapshot = acquireWarmupSnapshot(cfg);
+    }
+
     EventQueue eq("eq." + cfg.benchmark);
     Processor proc(eq, pc, profile, cfg.seed);
+
+    if (warm) {
+        std::string err;
+        if (!restoreWarmMachine(proc, cfg, *snapshot, &err))
+            gals_panic("warm snapshot restore failed: ", err);
+    }
 
     // The online controller discovers per-domain utilization and
     // retunes clock/voltage while the run progresses; it manages the
@@ -324,7 +359,10 @@ runOne(const RunConfig &cfg)
         meter->start();
     }
 
-    proc.run(cfg.instructions);
+    if (warm)
+        proc.runResumed(cfg.instructions - cfg.warmupInstructions);
+    else
+        proc.run(cfg.instructions);
     if (ctrl)
         ctrl->stop();
     if (meter)

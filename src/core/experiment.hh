@@ -54,6 +54,16 @@ struct RunConfig
      *  pre-meter config keeps its archived hash. Applies to the
      *  single-core path; fabric runs record no samples. */
     std::uint64_t intervalTicks = 0;
+    /** Warm-state split (`--warmup-insts K`): run the first K
+     *  instructions under the canonical warmup configuration
+     *  (core/snapshot.hh), snapshot the quiescent machine, and
+     *  measure only the remaining instructions on a fresh event
+     *  queue — statistics, energy and time cover the measured region
+     *  alone. Snapshots are memoized across runs sharing a warmup
+     *  stem. 0 (the default) keeps the classic single-region run
+     *  and — like the fabric/meter axes — leaves archived hashes
+     *  untouched. Single-core only; must be < instructions. */
+    std::uint64_t warmupInstructions = 0;
 };
 
 /**

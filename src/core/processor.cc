@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "sim/logging.hh"
+#include "sim/snapshot_io.hh"
 #include "stats/stats.hh"
 
 namespace gals
@@ -266,14 +267,20 @@ void
 Processor::run(std::uint64_t targetCommitted)
 {
     prepareRun(targetCommitted);
+    runLoop(targetCommitted);
+    finishRun();
+}
 
+void
+Processor::runLoop(std::uint64_t targetCommitted)
+{
     Rng phase_rng(cfg_.phaseSeed * 0x9e3779b97f4a7c15ULL + 0x1234567ULL);
     startClocks(phase_rng);
 
     const Tick watchdog_ticks =
         cfg_.watchdogCycles * cfg_.nominalPeriod;
-    std::uint64_t last_committed = 0;
-    Tick last_progress = 0;
+    std::uint64_t last_committed = decode_->commitStats().committed;
+    Tick last_progress = eq_.now();
 
     while (decode_->commitStats().committed < targetCommitted) {
         gals_assert(!eq_.empty(), "event queue drained mid-run");
@@ -293,8 +300,145 @@ Processor::run(std::uint64_t targetCommitted)
                        execMem_->queue().size(), ")");
         }
     }
+}
 
+void
+Processor::runWarmup(std::uint64_t warmupCommitted)
+{
+    prepareRun(warmupCommitted);
+    runLoop(warmupCommitted);
+    drainToQuiescence();
     finishRun();
+}
+
+void
+Processor::runResumed(std::uint64_t measuredCommitted)
+{
+    gals_assert(measuredCommitted > 0, "nothing to run");
+    // The restored generator has already produced the warmup stream:
+    // arm the limit relative to it (fetch compares against
+    // gen_.generated(), not the commit counter, which restarts at 0).
+    fetch_->setFetchLimit(gen_.generated() + measuredCommitted);
+    runLoop(measuredCommitted);
+    finishRun();
+}
+
+bool
+Processor::quiescentForSnapshot() const
+{
+    if (!fetch_->quiescentForSnapshot() ||
+        !decode_->quiescentForSnapshot() ||
+        !execInt_->quiescentForSnapshot() ||
+        !execFp_->quiescentForSnapshot() ||
+        !execMem_->quiescentForSnapshot())
+        return false;
+    for (const ChannelBase *ch : allChannels_)
+        if (ch->occupancy() != 0)
+            return false;
+    return true;
+}
+
+void
+Processor::drainToQuiescence()
+{
+    // The fetch limit is already exhausted, so no new correct-path
+    // work appears; whatever is still in flight (wrong-path fetches
+    // awaiting their redirect, wakeup/complete/update messages in
+    // FIFOs) retires or is squashed within a pipeline depth's worth
+    // of cycles. The clocks self-reschedule, so bound the drain by
+    // the same watchdog budget as the run loop.
+    const Tick watchdog_ticks =
+        cfg_.watchdogCycles * cfg_.nominalPeriod;
+    const Tick start = eq_.now();
+    while (!quiescentForSnapshot()) {
+        gals_assert(!eq_.empty(), "event queue drained mid-drain");
+        eq_.serviceOne();
+        if (eq_.now() - start > watchdog_ticks)
+            gals_panic("watchdog: machine not quiescent ",
+                       cfg_.watchdogCycles,
+                       " cycles after warmup target (tick ", eq_.now(),
+                       ", rob=", decode_->rob().size(), ")");
+    }
+}
+
+void
+Processor::snapshotSave(SnapshotWriter &w)
+{
+    gals_assert(quiescentForSnapshot(),
+                "warm snapshot of a non-quiescent machine");
+
+    w.section("gen");
+    gen_.snapshotSave(w);
+
+    w.section("caches");
+    hier_.il1().snapshotSave(w);
+    hier_.dl1().snapshotSave(w);
+    hier_.l2().snapshotSave(w);
+
+    w.section("bpred");
+    fetch_->branchUnit().snapshotSave(w);
+
+    w.section("rename");
+    decode_->rename().snapshotSave(w);
+
+    w.section("fetch");
+    w.u64(fetch_->nextSeq());
+
+    // Channels and the event queue are empty by construction at the
+    // quiescent snapshot point; the sections still exist in the
+    // format so that relaxing the quiescence rule later is a format
+    // extension, not a format break.
+    w.section("channels");
+    w.u64(allChannels_.size());
+    for (const ChannelBase *ch : allChannels_)
+        w.u64(ch->occupancy());
+    w.section("events");
+    w.u64(0);
+}
+
+void
+Processor::snapshotRestore(SnapshotReader &r)
+{
+    r.section("gen");
+    gen_.snapshotRestore(r);
+
+    r.section("caches");
+    hier_.il1().snapshotRestore(r);
+    hier_.dl1().snapshotRestore(r);
+    hier_.l2().snapshotRestore(r);
+
+    r.section("bpred");
+    fetch_->branchUnit().snapshotRestore(r);
+
+    r.section("rename");
+    decode_->rename().snapshotRestore(r);
+
+    r.section("fetch");
+    fetch_->setNextSeq(r.u64());
+
+    r.section("channels");
+    r.expectU64(r.u64(), allChannels_.size(), "snapshot channel count");
+    for (std::size_t i = 0; r.ok() && i < allChannels_.size(); ++i)
+        r.expectU64(r.u64(), 0, "in-flight channel payloads");
+    r.section("events");
+    r.expectU64(r.u64(), 0, "in-flight events");
+    if (!r.ok())
+        return;
+
+    // Re-seed every execution domain's register-readiness view: at a
+    // quiescent point nothing is in flight, so every physical
+    // register is ready at its current rename epoch. Future
+    // consumers rename to epoch e+1 and wait for the producer's
+    // wakeup exactly as they would have in an uninterrupted run.
+    RenameUnit &rn = decode_->rename();
+    const unsigned regs = rn.totalPhysRegs();
+    ExecDomain *clusters[3] = {execInt_.get(), execFp_.get(),
+                               execMem_.get()};
+    for (ExecDomain *c : clusters)
+        for (unsigned reg = 0; reg < regs; ++reg) {
+            const auto pr = static_cast<PhysRegId>(reg);
+            c->scoreboard().observe(pr, rn.epochOf(pr));
+        }
 }
 
 void

@@ -42,6 +42,9 @@
 namespace gals
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Everything configurable about one Processor instance. */
 struct ProcessorConfig
 {
@@ -94,6 +97,33 @@ class Processor
 
     /** Run until @p targetCommitted instructions have committed. */
     void run(std::uint64_t targetCommitted);
+
+    /** @name Warm-state snapshot (core/snapshot.hh)
+     *
+     * runWarmup() runs like run() but, after the target commits, keeps
+     * servicing events until the machine is totally quiescent — no
+     * in-flight instruction anywhere, every channel empty — so a
+     * snapshot never has to serialize pipeline payloads or pending
+     * events. snapshotSave()/snapshotRestore() then move only the
+     * long-lived microarchitectural state (caches, branch predictor,
+     * rename map, workload walk, RNG streams). runResumed() continues
+     * a restored machine for the measured region on a fresh event
+     * queue: statistics, energy and clocks all start from zero, so
+     * results cover exactly the measured instructions.
+     */
+    /// @{
+    /** Run @p warmupCommitted instructions, then drain to quiescence. */
+    void runWarmup(std::uint64_t warmupCommitted);
+    /** No in-flight work in any stage and every channel empty. */
+    bool quiescentForSnapshot() const;
+    /** Serialize warm state. Requires quiescentForSnapshot(). */
+    void snapshotSave(SnapshotWriter &w);
+    /** Restore warm state into this freshly constructed processor;
+     *  on reader failure the processor is unusable — discard it. */
+    void snapshotRestore(SnapshotReader &r);
+    /** Run @p measuredCommitted further instructions after a restore. */
+    void runResumed(std::uint64_t measuredCommitted);
+    /// @}
 
     /** @name Run primitives
      * run() is prepareRun + startClocks + the event-service loop +
@@ -160,6 +190,8 @@ class Processor
     void buildChannels();
     void buildStages();
     void squashFrom(InstSeqNum afterSeq);
+    void runLoop(std::uint64_t targetCommitted);
+    void drainToQuiescence();
 
     EventQueue &eq_;
     ProcessorConfig cfg_;

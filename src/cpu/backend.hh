@@ -74,6 +74,19 @@ class ExecDomain : public ClockDomain::Ticker
 
     ExecKind kind() const { return kind_; }
 
+    /** No in-flight work in this cluster: empty issue queue, LSQ and
+     *  completion list. Part of the processor's warm-snapshot
+     *  quiescence predicate (core/snapshot.hh). */
+    bool quiescentForSnapshot() const
+    {
+        return iq_.size() == 0 && lsq_.size() == 0 &&
+               completions_.empty();
+    }
+
+    /** Register-readiness view, exposed so a warm-state restore can
+     *  re-seed the epochs this domain has observed. */
+    Scoreboard &scoreboard() { return scoreboard_; }
+
   private:
     void drainWakeups();
     void processCompletions(Tick now);

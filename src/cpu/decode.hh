@@ -71,6 +71,15 @@ class DecodeCommitUnit : public ClockDomain::Ticker
     std::uint64_t decodeStallCycles() const { return stallCycles_; }
     /// @}
 
+    /** No in-flight work in this domain: ROB and internal decode
+     *  pipe empty, no live RAT checkpoint. Part of the processor's
+     *  warm-snapshot quiescence predicate (core/snapshot.hh). */
+    bool quiescentForSnapshot() const
+    {
+        return rob_.size() == 0 && decodePipe_.empty() &&
+               !rename_.hasCheckpoint();
+    }
+
   private:
     void doCommit(Tick now);
     void doDecode(Tick now);

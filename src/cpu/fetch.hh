@@ -82,6 +82,22 @@ class FetchStage : public ClockDomain::Ticker
 
     BranchUnit &branchUnit() { return bpred_; }
 
+    /** @name Warm-state snapshot (core/snapshot.hh)
+     *
+     * Only the sequence counter is serialized: at the quiescent
+     * snapshot point there is no pending instruction, no wrong-path
+     * mode and no stall in flight (see quiescentForSnapshot()), so
+     * everything else is the fresh-construction state.
+     */
+    /// @{
+    bool quiescentForSnapshot() const
+    {
+        return pending_ == nullptr && !wrongPathMode_;
+    }
+    std::uint64_t nextSeq() const { return nextSeq_; }
+    void setNextSeq(std::uint64_t seq) { nextSeq_ = seq; }
+    /// @}
+
   private:
     DynInstPtr makeInst(const GenInst &gi, bool wrong_path);
     Tick missStallTicks(const MemAccessOutcome &out) const;

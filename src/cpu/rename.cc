@@ -1,6 +1,7 @@
 #include "cpu/rename.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot_io.hh"
 
 namespace gals
 {
@@ -119,6 +120,64 @@ RenameUnit::restore(InstSeqNum branchSeq)
 void
 RenameUnit::discardCheckpoint()
 {
+    checkpointValid_ = false;
+}
+
+void
+RenameUnit::snapshotSave(SnapshotWriter &w) const
+{
+    gals_assert(!checkpointValid_,
+                "rename snapshot with a live checkpoint");
+    w.u64(rat_.size());
+    for (PhysRegId p : rat_)
+        w.u64(static_cast<std::uint64_t>(p));
+    w.u64(freeInt_.size());
+    for (PhysRegId p : freeInt_)
+        w.u64(static_cast<std::uint64_t>(p));
+    w.u64(freeFp_.size());
+    for (PhysRegId p : freeFp_)
+        w.u64(static_cast<std::uint64_t>(p));
+    w.u64(allocEpoch_.size());
+    for (std::uint32_t e : allocEpoch_)
+        w.u64(e);
+}
+
+void
+RenameUnit::snapshotRestore(SnapshotReader &r)
+{
+    const std::uint64_t total = totalPhysRegs();
+
+    r.expectU64(r.u64(), rat_.size(), "RAT size");
+    for (PhysRegId &p : rat_) {
+        const std::uint64_t v = r.u64();
+        if (v >= total)
+            r.fail("RAT entry out of range");
+        p = static_cast<PhysRegId>(v);
+    }
+
+    const auto readFreeList = [&](std::vector<PhysRegId> &list,
+                                  std::uint64_t capacity,
+                                  const char *what) {
+        const std::uint64_t n = r.u64();
+        if (n > capacity) {
+            r.fail(std::string("oversized ") + what);
+            return;
+        }
+        list.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint64_t v = r.u64();
+            if (v >= total)
+                r.fail("free-list entry out of range");
+            list.push_back(static_cast<PhysRegId>(v));
+        }
+    };
+    readFreeList(freeInt_, numIntPhys_, "int free list");
+    readFreeList(freeFp_, numFpPhys_, "fp free list");
+
+    r.expectU64(r.u64(), allocEpoch_.size(), "epoch table size");
+    for (std::uint32_t &e : allocEpoch_)
+        e = static_cast<std::uint32_t>(r.u64());
+
     checkpointValid_ = false;
 }
 

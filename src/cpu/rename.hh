@@ -22,6 +22,9 @@
 namespace gals
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * Rename unit: RAT + free lists + epochs.
  */
@@ -103,6 +106,18 @@ class RenameUnit
     }
 
     unsigned totalPhysRegs() const { return numIntPhys_ + numFpPhys_; }
+
+    /** @name Warm-state snapshot (core/snapshot.hh)
+     *
+     * RAT, free lists and allocation epochs. Only legal at a
+     * quiescent point: save refuses (fails the writer's invariants
+     * via assertion) while a checkpoint is live, and restore leaves
+     * the checkpoint state empty.
+     */
+    /// @{
+    void snapshotSave(SnapshotWriter &w) const;
+    void snapshotRestore(SnapshotReader &r);
+    /// @}
 
   private:
     bool needsFpDest(const DynInst &inst) const;

@@ -8,6 +8,7 @@
 #include "power/power_model.hh"
 #include "runner/reporter.hh"
 #include "runner/stats.hh"
+#include "sim/bytecodec.hh"
 #include "sim/logging.hh"
 
 namespace gals::runner::gtrj
@@ -16,7 +17,10 @@ namespace gals::runner::gtrj
 namespace
 {
 
-/** Optional-block bits of the per-record flags byte. */
+/** Optional-block bits of the per-record flags byte. A reader that
+ *  predates a bit rejects records carrying it (see flagKnownMask in
+ *  decodePayload), so adding a bit extends the format without
+ *  touching the bytes of any record not using it. */
 enum : unsigned char
 {
     flagGals = 1u << 0,
@@ -24,7 +28,8 @@ enum : unsigned char
     flagFabric = 1u << 2,
     flagPerCore = 1u << 3,
     flagIntervals = 1u << 4,
-    flagKnownMask = (1u << 5) - 1,
+    flagWarmup = 1u << 5,
+    flagKnownMask = (1u << 6) - 1,
 };
 
 /** A frame longer than this is a torn length prefix, not a record:
@@ -51,48 +56,12 @@ canonicalUnitNames()
     return names;
 }
 
-void
-appendF64(std::string &out, double v)
-{
-    std::uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(v));
-    std::memcpy(&bits, &v, sizeof(bits));
-    for (int i = 0; i < 8; ++i)
-        out.push_back(static_cast<char>(bits >> (8 * i)));
-}
-
-bool
-readF64(std::string_view buf, std::size_t &pos, double &v)
-{
-    if (buf.size() - pos < 8)
-        return false;
-    std::uint64_t bits = 0;
-    for (int i = 0; i < 8; ++i)
-        bits |= static_cast<std::uint64_t>(
-                    static_cast<unsigned char>(buf[pos + i]))
-                << (8 * i);
-    pos += 8;
-    std::memcpy(&v, &bits, sizeof(v));
-    return true;
-}
-
-void
-appendString(std::string &out, const std::string &s)
-{
-    appendVarint(out, s.size());
-    out += s;
-}
-
-bool
-readString(std::string_view buf, std::size_t &pos, std::string &s)
-{
-    std::uint64_t len = 0;
-    if (!readVarint(buf, pos, len) || len > buf.size() - pos)
-        return false;
-    s.assign(buf.data() + pos, static_cast<std::size_t>(len));
-    pos += static_cast<std::size_t>(len);
-    return true;
-}
+// The codec primitives moved to sim/bytecodec.hh when the snapshot
+// format (core/snapshot.hh) started sharing them.
+using codec::appendF64;
+using codec::appendString;
+using codec::readF64;
+using codec::readString;
 
 } // namespace
 
@@ -110,31 +79,13 @@ fileHeader()
 void
 appendVarint(std::string &out, std::uint64_t v)
 {
-    while (v >= 0x80) {
-        out.push_back(static_cast<char>(0x80 | (v & 0x7f)));
-        v >>= 7;
-    }
-    out.push_back(static_cast<char>(v));
+    codec::appendVarint(out, v);
 }
 
 bool
 readVarint(std::string_view buf, std::size_t &pos, std::uint64_t &v)
 {
-    v = 0;
-    for (unsigned i = 0; i < 10; ++i) {
-        if (pos >= buf.size())
-            return false;
-        const unsigned char b = static_cast<unsigned char>(buf[pos++]);
-        // The 10th byte holds bit 63 only: anything more is either a
-        // continuation past 10 bytes or bits beyond u64 — corruption
-        // either way.
-        if (i == 9 && (b & 0xfe))
-            return false;
-        v |= static_cast<std::uint64_t>(b & 0x7f) << (7 * i);
-        if (!(b & 0x80))
-            return true;
-    }
-    return false;
+    return codec::readVarint(buf, pos, v);
 }
 
 std::string
@@ -159,6 +110,8 @@ encodeRecord(const std::string &scenario, std::uint64_t index,
         flags |= flagPerCore;
     if (cfg.intervalTicks > 0)
         flags |= flagIntervals;
+    if (cfg.warmupInstructions > 0)
+        flags |= flagWarmup;
     p.push_back(static_cast<char>(flags));
 
     appendVarint(p, cfg.instructions);
@@ -167,6 +120,9 @@ encodeRecord(const std::string &scenario, std::uint64_t index,
     // sentinel must survive the round trip so a decoded record
     // resolves (and prints) exactly like the native run's config.
     appendVarint(p, cfg.phaseSeed);
+
+    if (flags & flagWarmup)
+        appendVarint(p, cfg.warmupInstructions);
 
     if (flags & flagFabric) {
         appendVarint(p, cfg.fabric.cores);
@@ -314,6 +270,14 @@ decodePayload(std::string_view payload, DecodedRecord &out,
         return false;
     if (!readVarint(payload, pos, out.cfg.phaseSeed))
         return false;
+
+    if (flags & flagWarmup) {
+        if (!readVarint(payload, pos, out.cfg.warmupInstructions) ||
+            out.cfg.warmupInstructions == 0) {
+            err = "gtrj record with invalid warmup instruction count";
+            return false;
+        }
+    }
 
     if (flags & flagFabric) {
         std::uint64_t cores = 0;

@@ -25,13 +25,17 @@
  * record. Optional blocks (fabric axes, per-core results, interval
  * samples) are gated by a flags byte.
  *
- * Versioning rules: any change to the payload field order, the flags
- * byte, the metric column list, or the power-model unit set bumps
- * @ref formatVersion (readers reject unknown versions), and ships
- * with a galssimVersion() bump since the records describe simulator
- * output. Purely additive trailing blocks still bump the version —
- * there is no in-band skipping; the format optimizes for exactness,
- * not forward compatibility.
+ * Versioning rules: any change to the payload field order, the
+ * meaning of an existing flags-byte bit, the metric column list, or
+ * the power-model unit set bumps @ref formatVersion (readers reject
+ * unknown versions), and ships with a galssimVersion() bump since
+ * the records describe simulator output. The one additive path that
+ * does NOT bump the version is claiming a previously-unused flag bit
+ * for a new gated block (the fabric/interval/warmup pattern): every
+ * record not using the bit keeps its exact bytes, and older readers
+ * reject records that do carry it via the known-bits mask — a clean
+ * refusal, never a misparse. There is no in-band skipping; the
+ * format optimizes for exactness, not forward compatibility.
  *
  * Frames are self-delimiting and encoded statelessly (no
  * inter-record compression), so a shard's frames are byte-identical

@@ -322,6 +322,12 @@ readManifest(const std::string &path, ParsedManifest &out,
             return fail("malformed interval_ticks");
     }
 
+    if (const json::Value *wu = v.find("warmup_insts")) {
+        if (!wu->asU64(out.opts.warmupInstructions) ||
+            out.opts.warmupInstructions == 0)
+            return fail("malformed warmup_insts");
+    }
+
     if (const json::Value *shard = v.find("shard")) {
         const json::Value *idx = shard->find("index");
         const json::Value *cnt = shard->find("count");
@@ -794,6 +800,8 @@ mergeManifests(const std::vector<std::string> &shardFiles,
             m.opts.topologies != first.opts.topologies ||
             m.opts.traffics != first.opts.traffics ||
             m.opts.intervalTicks != first.opts.intervalTicks ||
+            m.opts.warmupInstructions !=
+                first.opts.warmupInstructions ||
             m.opts.shard.count != count ||
             !sameScenarios(m.scenarios, first.scenarios)) {
             diag << "merge-manifest: '" << shardFiles[i]

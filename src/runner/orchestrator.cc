@@ -555,9 +555,14 @@ runDispatch(const ScenarioRegistry &registry,
                  << jsonQuote(opts.sweep.traffics[i]);
         plan << "]}";
     }
-    // Gated the same way: only metered sweeps mention the interval.
+    // Gated the same way: only metered sweeps mention the interval,
+    // only warm sweeps mention the split. The snapshot directory is
+    // deliberately absent — it caches, it does not define the sweep.
     if (opts.sweep.intervalTicks > 0)
         plan << ",\"interval_ticks\":" << opts.sweep.intervalTicks;
+    if (opts.sweep.warmupInstructions > 0)
+        plan << ",\"warmup_insts\":"
+             << opts.sweep.warmupInstructions;
     plan << ",\"scenarios\":[";
     for (std::size_t i = 0; i < shapes.size(); ++i)
         plan << (i ? "," : "") << "{\"name\":"
@@ -813,6 +818,15 @@ runDispatch(const ScenarioRegistry &registry,
             argv.push_back("--interval-ticks");
             argv.push_back(
                 std::to_string(opts.sweep.intervalTicks));
+        }
+        if (opts.sweep.warmupInstructions > 0) {
+            argv.push_back("--warmup-insts");
+            argv.push_back(
+                std::to_string(opts.sweep.warmupInstructions));
+        }
+        if (!opts.snapshotDir.empty()) {
+            argv.push_back("--snapshot-dir");
+            argv.push_back(opts.snapshotDir);
         }
         argv.push_back("--engine");
         argv.push_back(opts.engineName);

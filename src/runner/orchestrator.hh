@@ -256,6 +256,13 @@ struct DispatchOptions
     /** Discard any existing work directory instead of resuming. */
     bool fresh = false;
 
+    /** Warm-snapshot exchange directory (`--snapshot-dir`),
+     *  forwarded to every worker so slices share warmup stems on
+     *  disk — including across an orchestrator crash and resume.
+     *  Not run-defining: it never appears in the plan line or any
+     *  manifest. Empty = workers memoize in-process only. */
+    std::string snapshotDir;
+
     /** TEST-ONLY: extra argv appended to every worker launch (e.g. a
      *  persistent fault flag). */
     std::vector<std::string> workerArgs;

@@ -170,6 +170,10 @@ writeJsonLines(std::ostream &os, const std::string &scenario,
            << ",\"instructions\":" << num(c.instructions)
            << ",\"seed\":" << num(c.seed)
            << ",\"phase_seed\":" << num(effectivePhaseSeed(c));
+        // Warmup split only when one was requested: pre-warmup
+        // records keep their exact bytes.
+        if (c.warmupInstructions > 0)
+            os << ",\"warmup_insts\":" << num(c.warmupInstructions);
         // Fabric axes only for fabric runs: pre-fabric records (and
         // N=1 fabric-scenario records) keep their exact bytes.
         if (c.fabric.active())

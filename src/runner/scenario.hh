@@ -94,6 +94,12 @@ struct SweepOptions
      *  pre-meter state every manifest and plan line is in). */
     std::uint64_t intervalTicks = 0;
 
+    /** Warm-state split (`--warmup-insts K`), stamped by
+     *  expandReplicatedRuns() onto every *single-core* run of the
+     *  grid (fabric runs do not support warmup snapshots and keep
+     *  the field 0, so their hashes never change). 0 = off. */
+    std::uint64_t warmupInstructions = 0;
+
     /** The replica seeds, in run order: @ref explicitSeeds when
      *  given, else seed, seed+1, ..., seed+seedReplicas-1. */
     std::vector<std::uint64_t> seedList() const;

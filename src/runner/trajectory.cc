@@ -258,6 +258,11 @@ writeManifest(std::ostream &os, const SweepOptions &opts,
     if (opts.intervalTicks > 0)
         os << "  \"interval_ticks\": " << opts.intervalTicks << ",\n";
 
+    // Warmup split (--warmup-insts), gated the same way.
+    if (opts.warmupInstructions > 0)
+        os << "  \"warmup_insts\": " << opts.warmupInstructions
+           << ",\n";
+
     if (opts.shard.active())
         os << "  \"shard\": {\"index\": " << opts.shard.index
            << ", \"count\": " << opts.shard.count << "},\n";

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared binary-codec primitives: LEB128 varints, raw-bit doubles,
+ * length-prefixed strings.
+ *
+ * These started life inside the `.gtrj` trajectory writer
+ * (runner/gtrj.cc); the warm-state snapshot format (core/snapshot.hh)
+ * serializes with the same primitives, so they live here — below both
+ * layers — instead of being copied. The encodings are fixed:
+ *
+ *  - varint: LEB128, low 7 bits first, at most 10 bytes; the 10th
+ *    byte may only carry bit 63 (anything else is corruption).
+ *  - f64: the raw IEEE-754 bit pattern, little-endian, 8 bytes —
+ *    non-finite values round-trip exactly.
+ *  - string: varint(length) then the raw bytes.
+ *
+ * Readers take (buf, pos) and return false without advancing past the
+ * end on truncated input, so a torn tail is always detectable.
+ */
+
+#ifndef SIM_BYTECODEC_HH
+#define SIM_BYTECODEC_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace gals::codec
+{
+
+/** Append the LEB128 varint encoding of @p v to @p out. */
+inline void
+appendVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>(0x80 | (v & 0x7f)));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+/** Decode a varint at @p pos, advancing it; false when @p buf ends
+ *  mid-varint or the encoding exceeds 10 bytes. */
+inline bool
+readVarint(std::string_view buf, std::size_t &pos, std::uint64_t &v)
+{
+    v = 0;
+    for (unsigned i = 0; i < 10; ++i) {
+        if (pos >= buf.size())
+            return false;
+        const unsigned char b = static_cast<unsigned char>(buf[pos++]);
+        // The 10th byte holds bit 63 only: anything more is either a
+        // continuation past 10 bytes or bits beyond u64 — corruption
+        // either way.
+        if (i == 9 && (b & 0xfe))
+            return false;
+        v |= static_cast<std::uint64_t>(b & 0x7f) << (7 * i);
+        if (!(b & 0x80))
+            return true;
+    }
+    return false;
+}
+
+/** Append the raw IEEE-754 bits of @p v, little-endian. */
+inline void
+appendF64(std::string &out, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>(bits >> (8 * i)));
+}
+
+/** Decode an f64 at @p pos, advancing it; false on short input. */
+inline bool
+readF64(std::string_view buf, std::size_t &pos, double &v)
+{
+    if (buf.size() - pos < 8)
+        return false;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i)
+        bits |= static_cast<std::uint64_t>(
+                    static_cast<unsigned char>(buf[pos + i]))
+                << (8 * i);
+    pos += 8;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+}
+
+/** Append varint(size) + raw bytes of @p s. */
+inline void
+appendString(std::string &out, const std::string &s)
+{
+    appendVarint(out, s.size());
+    out += s;
+}
+
+/** Decode a length-prefixed string at @p pos, advancing it; false on
+ *  truncated input. */
+inline bool
+readString(std::string_view buf, std::size_t &pos, std::string &s)
+{
+    std::uint64_t len = 0;
+    if (!readVarint(buf, pos, len) || len > buf.size() - pos)
+        return false;
+    s.assign(buf.data() + pos, static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+    return true;
+}
+
+} // namespace gals::codec
+
+#endif // SIM_BYTECODEC_HH

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/snapshot_io.hh"
 
 namespace gals
 {
@@ -103,6 +104,28 @@ Rng::geometric(double mean)
     if (val > 1e6)
         return 1000000;
     return static_cast<unsigned>(val);
+}
+
+void
+Rng::snapshotSave(SnapshotWriter &w) const
+{
+    for (std::uint64_t s : s_)
+        w.u64(s);
+    w.flag(haveSpare_);
+    w.f64(spare_);
+}
+
+void
+Rng::snapshotRestore(SnapshotReader &r)
+{
+    for (std::uint64_t &s : s_)
+        s = r.u64();
+    haveSpare_ = r.flag();
+    spare_ = r.f64();
+    // All-zero is the forbidden xoshiro state; valid snapshots never
+    // contain it, so reaching it means the bytes are corrupt.
+    if (r.ok() && (s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        r.fail("all-zero rng state");
 }
 
 double

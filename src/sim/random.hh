@@ -17,6 +17,9 @@
 namespace gals
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * Seedable deterministic random number generator (xoshiro256**).
  */
@@ -50,6 +53,17 @@ class Rng
 
     /** Gaussian sample via Box-Muller (mean, sigma). */
     double gaussian(double mean, double sigma);
+
+    /** @name Warm-state snapshot (core/snapshot.hh)
+     *
+     * The full generator state — xoshiro words plus the Box-Muller
+     * spare — so a restored stream continues bit-exactly where the
+     * saved one stopped.
+     */
+    /// @{
+    void snapshotSave(SnapshotWriter &w) const;
+    void snapshotRestore(SnapshotReader &r);
+    /// @}
 
   private:
     std::uint64_t s_[4];

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Streaming writer/reader pair for warm-state snapshots.
+ *
+ * SnapshotWriter appends typed fields (varint u64, raw-bit f64,
+ * length-prefixed string, section tags) to a growing byte buffer
+ * using the shared codec primitives (sim/bytecodec.hh).
+ * SnapshotReader walks the same fields back with *sticky* error
+ * state: the first truncated or mismatching field marks the reader
+ * failed, every later read returns a zero value without advancing,
+ * and the caller checks ok() once at the end instead of threading a
+ * bool through every component's restore method. Restore code
+ * therefore reads exactly like save code, field for field.
+ *
+ * Section tags (`section("caches")`) are length-prefixed literal
+ * strings checked on read. They exist to catch drift between a
+ * component's save and restore field lists early — a skew fails on
+ * the next tag with a precise error instead of silently misparsing
+ * the rest of the file.
+ */
+
+#ifndef SIM_SNAPSHOT_IO_HH
+#define SIM_SNAPSHOT_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/bytecodec.hh"
+
+namespace gals
+{
+
+/** Append-only typed field writer over a byte buffer. */
+class SnapshotWriter
+{
+  public:
+    void u64(std::uint64_t v) { codec::appendVarint(buf_, v); }
+    void f64(double v) { codec::appendF64(buf_, v); }
+    void str(const std::string &s) { codec::appendString(buf_, s); }
+    void flag(bool b) { u64(b ? 1 : 0); }
+    /** Write a section tag — the reader checks it verbatim. */
+    void section(const char *tag) { str(tag); }
+
+    const std::string &bytes() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    std::string buf_;
+};
+
+/** Typed field reader with sticky error state. */
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(std::string_view buf) : buf_(buf) {}
+
+    std::uint64_t u64()
+    {
+        std::uint64_t v = 0;
+        if (ok_ && !codec::readVarint(buf_, pos_, v))
+            fail("truncated varint");
+        return ok_ ? v : 0;
+    }
+
+    double f64()
+    {
+        double v = 0.0;
+        if (ok_ && !codec::readF64(buf_, pos_, v))
+            fail("truncated f64");
+        return ok_ ? v : 0.0;
+    }
+
+    std::string str()
+    {
+        std::string s;
+        if (ok_ && !codec::readString(buf_, pos_, s))
+            fail("truncated string");
+        return ok_ ? s : std::string();
+    }
+
+    bool flag() { return u64() != 0; }
+
+    /** Read a section tag and require it to equal @p tag. */
+    void section(const char *tag)
+    {
+        if (!ok_)
+            return;
+        const std::string got = str();
+        if (ok_ && got != tag)
+            fail(std::string("expected section '") + tag +
+                 "', found '" + got + "'");
+    }
+
+    /** Require @p got == @p want, failing with @p what otherwise. */
+    void expectU64(std::uint64_t got, std::uint64_t want,
+                   const char *what)
+    {
+        if (ok_ && got != want)
+            fail(std::string("mismatched ") + what);
+    }
+
+    /** Mark the reader failed. Later reads return zero values. */
+    void fail(const std::string &why)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = why;
+        }
+    }
+
+    /** True when every field so far parsed and matched. */
+    bool ok() const { return ok_; }
+    /** True when the whole buffer was consumed (call at the end). */
+    bool atEnd() const { return ok_ && pos_ == buf_.size(); }
+    const std::string &error() const { return error_; }
+    std::size_t pos() const { return pos_; }
+
+  private:
+    std::string_view buf_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
+} // namespace gals
+
+#endif // SIM_SNAPSHOT_IO_HH

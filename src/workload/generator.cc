@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot_io.hh"
 
 namespace gals
 {
@@ -481,6 +482,117 @@ StreamGenerator::wrongPath(std::uint64_t pc)
                         .startPc;
     }
     return gi;
+}
+
+namespace
+{
+
+/** RegIds are small signed ints; round them through two's-complement
+ *  u64 so invalidReg (-1) survives the varint. */
+std::uint64_t
+packReg(RegId r)
+{
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(r));
+}
+
+RegId
+unpackReg(std::uint64_t v)
+{
+    return static_cast<RegId>(static_cast<std::int64_t>(v));
+}
+
+} // namespace
+
+void
+StreamGenerator::snapshotSave(SnapshotWriter &w) const
+{
+    dynRng_.snapshotSave(w);
+    wpRng_.snapshotSave(w);
+
+    w.u64(generated_);
+    w.u64(static_cast<std::uint64_t>(current_.cls));
+    w.u64(current_.pc);
+    w.u64(current_.numSrcs);
+    for (RegId s : current_.srcs)
+        w.u64(packReg(s));
+    w.u64(packReg(current_.dest));
+    w.flag(current_.taken);
+    w.u64(current_.target);
+    w.u64(current_.memAddr);
+
+    w.u64(curBlock_);
+    w.u64(opIdx_);
+
+    for (std::uint32_t c : callStack_)
+        w.u64(c);
+    w.u64(callTop_);
+    w.u64(callDepth_);
+
+    // Loop trip counters are the one piece of dynamic state living
+    // inside the static block table.
+    w.u64(blocks_.size());
+    for (const Block &b : blocks_)
+        w.u64(b.tripsLeft);
+
+    w.u64(hotLineRing_.size());
+    for (std::uint64_t line : hotLineRing_)
+        w.u64(line);
+    w.u64(hotLineHead_);
+    w.u64(warmLineRing_.size());
+    for (std::uint64_t line : warmLineRing_)
+        w.u64(line);
+    w.u64(warmLineHead_);
+    w.u64(freshLine_);
+    w.u64(wpLine_);
+}
+
+void
+StreamGenerator::snapshotRestore(SnapshotReader &r)
+{
+    dynRng_.snapshotRestore(r);
+    wpRng_.snapshotRestore(r);
+
+    generated_ = r.u64();
+    current_.cls = static_cast<InstClass>(r.u64());
+    current_.pc = r.u64();
+    current_.numSrcs = static_cast<unsigned>(r.u64());
+    if (current_.numSrcs > 3)
+        r.fail("generator current numSrcs out of range");
+    for (RegId &s : current_.srcs)
+        s = unpackReg(r.u64());
+    current_.dest = unpackReg(r.u64());
+    current_.taken = r.flag();
+    current_.target = r.u64();
+    current_.memAddr = r.u64();
+
+    curBlock_ = static_cast<std::uint32_t>(r.u64());
+    if (curBlock_ >= blocks_.size())
+        r.fail("generator block index out of range");
+    opIdx_ = static_cast<unsigned>(r.u64());
+    if (r.ok() && opIdx_ >= blocks_[curBlock_].ops.size())
+        r.fail("generator op index out of range");
+
+    for (std::uint32_t &c : callStack_)
+        c = static_cast<std::uint32_t>(r.u64());
+    callTop_ = static_cast<unsigned>(r.u64());
+    callDepth_ = static_cast<unsigned>(r.u64());
+    if (callTop_ >= callStackDepth || callDepth_ > callStackDepth)
+        r.fail("generator call stack out of range");
+
+    r.expectU64(r.u64(), blocks_.size(), "generator block count");
+    for (Block &b : blocks_)
+        b.tripsLeft = static_cast<unsigned>(r.u64());
+
+    r.expectU64(r.u64(), hotLineRing_.size(), "hot ring size");
+    for (std::uint64_t &line : hotLineRing_)
+        line = r.u64();
+    hotLineHead_ = static_cast<std::size_t>(r.u64());
+    r.expectU64(r.u64(), warmLineRing_.size(), "warm ring size");
+    for (std::uint64_t &line : warmLineRing_)
+        line = r.u64();
+    warmLineHead_ = static_cast<std::size_t>(r.u64());
+    freshLine_ = r.u64();
+    wpLine_ = r.u64();
 }
 
 } // namespace gals

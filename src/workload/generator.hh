@@ -105,6 +105,21 @@ class StreamGenerator
     std::uint64_t staticProgramBytes() const;
     /// @}
 
+    /** @name Warm-state snapshot (core/snapshot.hh)
+     *
+     * The *dynamic* walk state only: RNG streams, position in the
+     * CFG, the call stack, loop trip counters and the working-set
+     * rings. The static program is a pure function of
+     * (profile, seed), so a restored generator rebuilds it through
+     * its constructor and the snapshot never stores it. Restore
+     * checks block/ring counts against this generator and fails the
+     * reader on a mismatch.
+     */
+    /// @{
+    void snapshotSave(SnapshotWriter &w) const;
+    void snapshotRestore(SnapshotReader &r);
+    /// @}
+
   private:
     /** Branch kinds of a block-terminating branch site. */
     enum class SiteKind : std::uint8_t

@@ -663,6 +663,78 @@ TEST_F(DispatchIntegration, ResumeRunsOnlyTheMissingRecords)
         << vdiag.str();
 }
 
+TEST_F(DispatchIntegration, WarmupSnapshotDirSurvivesKillAndResume)
+{
+    const std::string out = tempPath("warmsnap/merged.jsonl");
+    fs::remove_all(tempPath("warmsnap"));
+    fs::create_directories(tempPath("warmsnap"));
+    const std::string snapDir = tempPath("warmsnap/snapshots");
+    fs::create_directories(snapDir);
+
+    // Warm variant of the integration sweep: same 4-run grid, every
+    // run split 3:1 warmup:measure so the seeds' two warmup stems are
+    // shared through the exchange directory.
+    SweepOptions sweep = integrationSweep();
+    sweep.warmupInstructions = 1500;
+
+    // In-process warm reference (no snapshot directory: in-process
+    // memoization alone must already give the same bytes).
+    const std::string ref = tempPath("warmsnap/reference.jsonl");
+    {
+        TrajectorySink sink(ref);
+        const ExperimentEngine engine(1);
+        const Scenario *scenario = registry_.find("fig05");
+        ASSERT_NE(scenario, nullptr);
+        const std::vector<RunConfig> runs =
+            expandReplicatedRuns(*scenario, sweep, nullptr);
+        sink.append("fig05", runs, engine.run(runs));
+        sink.close();
+    }
+
+    DispatchOptions opts = integrationOptions(out);
+    opts.sweep = sweep;
+    opts.snapshotDir = snapDir;
+
+    std::ostringstream diag1;
+    ASSERT_TRUE(runDispatch(registry_, opts, diag1, nullptr))
+        << diag1.str();
+    EXPECT_EQ(slurp(out), slurp(ref));
+
+    // The workers exchanged warmup stems through the directory.
+    std::size_t snapshots = 0;
+    for (const auto &e : fs::directory_iterator(snapDir)) {
+        EXPECT_EQ(e.path().extension(), ".gsnp") << e.path();
+        ++snapshots;
+    }
+    EXPECT_GT(snapshots, 0u);
+
+    // Kill -9 aftermath: a torn slice trajectory, every snapshot in
+    // the exchange directory truncated to half, and a stale garbage
+    // file alongside them. The resumed dispatch must ignore the
+    // partial/foreign snapshots (re-producing whichever stems it
+    // needs) and still converge to the reference bytes.
+    const std::string workDir = out + ".dispatch";
+    const std::string slice1 = workDir + "/slice_1.jsonl";
+    const std::string full = slurp(slice1);
+    const std::size_t firstEnd = full.find('\n');
+    ASSERT_NE(firstEnd, std::string::npos);
+    spit(slice1, full.substr(0, firstEnd + 1 + 40));
+    fs::remove(workDir + "/slice_1.manifest.json");
+    fs::remove(out);
+    for (const auto &e : fs::directory_iterator(snapDir))
+        fs::resize_file(e.path(), fs::file_size(e.path()) / 2);
+    spit(snapDir + "/snap_0000000000000bad.gsnp",
+         "not a snapshot at all");
+
+    std::ostringstream diag2;
+    DispatchReport report;
+    ASSERT_TRUE(runDispatch(registry_, opts, diag2, &report))
+        << diag2.str();
+    EXPECT_EQ(report.resumedDoneSlices, 2u);
+    EXPECT_EQ(report.launches, 1u);
+    EXPECT_EQ(slurp(out), slurp(ref));
+}
+
 TEST_F(DispatchIntegration, GtrjDispatchResumesAcrossATornFrame)
 {
     const std::string out = tempPath("gtrj/merged.gtrj");
